@@ -1,0 +1,273 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one bench
+// per table and figure (DESIGN.md §3), plus component benchmarks for the
+// protocol stack. Run with:
+//
+//	go test -bench=. -benchmem
+package nearspan_test
+
+import (
+	"io"
+	"testing"
+
+	"nearspan"
+	"nearspan/internal/congest"
+	"nearspan/internal/core"
+	"nearspan/internal/experiments"
+	"nearspan/internal/gen"
+	"nearspan/internal/params"
+	"nearspan/internal/protocols"
+)
+
+// --- Tables ---
+
+// BenchmarkTable1DeterministicCONGEST regenerates Table 1: the
+// deterministic CONGEST comparison (measured New vs analytic Elk05).
+func BenchmarkTable1DeterministicCONGEST(b *testing.B) {
+	cfgs := experiments.QuickConfigs()[:1]
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Panorama regenerates Table 2: the near-additive spanner
+// panorama with four measured rows.
+func BenchmarkTable2Panorama(b *testing.B) {
+	cfg := experiments.QuickConfigs()[0]
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures ---
+
+// figureBench runs the full figure suite once per iteration; individual
+// figure benches below isolate each figure's dominant computation.
+func BenchmarkFiguresSuite(b *testing.B) {
+	fc := experiments.DefaultFigureConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figures(io.Discard, fc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Superclustering measures phase-0 superclustering
+// (Algorithm 1 + ruling set + forest) on the figure grid.
+func BenchmarkFigure1Superclustering(b *testing.B) {
+	g := gen.Grid(12, 12)
+	p, err := params.New(1.0/3, 8, 0.3, g.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, p, core.Options{KeepClusters: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ForestTrees measures the supercluster BFS forest on
+// the simulator (the structure Figure 2 adds to H).
+func BenchmarkFigure2ForestTrees(b *testing.B) {
+	g := gen.Grid(12, 12)
+	isRoot := func(v int) bool { return v%12 == 0 }
+	for i := 0; i < b.N; i++ {
+		sim, err := congest.NewUniform(g, protocols.NewBFSForest(isRoot, 8), congest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(protocols.ForestRounds(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3RulingSetSeparation measures the deterministic ruling
+// set whose separation Figure 3 illustrates.
+func BenchmarkFigure3RulingSetSeparation(b *testing.B) {
+	g := gen.Grid(12, 12)
+	member := func(v int) bool { return true }
+	q, c := int32(2), 4
+	rounds := protocols.RulingSetRounds(q, c, g.N())
+	for i := 0; i < b.N; i++ {
+		sim, err := congest.NewUniform(g, protocols.NewRulingSet(member, q, c, g.N()), congest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(rounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4SuperclusterPaths measures forest-path climbing (the
+// paths Figure 4 adds to H).
+func BenchmarkFigure4SuperclusterPaths(b *testing.B) {
+	g := gen.Grid(12, 12)
+	dist, _, parent := g.MultiBFS([]int{0, 77, 143}, 10)
+	via := make([]map[int64]int, g.N())
+	start := make([][]int64, g.N())
+	for v := 0; v < g.N(); v++ {
+		if parent[v] >= 0 {
+			via[v] = map[int64]int{-1: g.PortOf(v, int(parent[v]))}
+		}
+		if dist[v] == 10 {
+			start[v] = []int64{-1}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		sim, err := congest.NewUniform(g, protocols.NewClimb(via, start), congest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.RunUntilQuiet(protocols.ClimbMaxRounds(1, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Interconnection measures Algorithm 1 plus the
+// interconnection traces (the paths Figure 5 adds to H).
+func BenchmarkFigure5Interconnection(b *testing.B) {
+	g := gen.Grid(12, 12)
+	isCenter := func(v int) bool { return true }
+	deg, delta := 12, int32(3)
+	rounds := protocols.NearNeighborsRounds(deg, delta)
+	for i := 0; i < b.N; i++ {
+		sim, err := congest.NewUniform(g, protocols.NewNearNeighbors(isCenter, deg, delta), congest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(rounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6NeighboringClusters measures the cross-phase
+// neighboring-cluster distance verification (Lemma 2.15).
+func BenchmarkFigure6NeighboringClusters(b *testing.B) {
+	g := gen.GNP(150, 0.08, 3, true)
+	p, err := params.New(1.0/3, 3, 0.49, g.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Build(g, p, core.Options{KeepClusters: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The verification work: one BFS in H per U-cluster center.
+		for _, u := range res.U {
+			for _, cl := range u.Clusters {
+				_ = res.Spanner.BFS(cl.Center)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7SegmentStretch measures short-range stretch
+// verification (the per-segment bound of Figure 7).
+func BenchmarkFigure7SegmentStretch(b *testing.B) {
+	g := gen.GNP(150, 0.08, 3, true)
+	res, err := nearspan.BuildSpanner(g, nearspan.Config{Eps: 1.0 / 3, Kappa: 3, Rho: 0.49})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nearspan.VerifyStretchSampled(g, res.Spanner, 1+res.Params.EpsPrime(),
+			res.Params.BetaInt(), 25, 1)
+	}
+}
+
+// BenchmarkFigure8EndToEndStretch measures the full all-pairs stretch
+// verification (the end-to-end bound of Figure 8 / Corollary 2.18).
+func BenchmarkFigure8EndToEndStretch(b *testing.B) {
+	g := gen.GNP(150, 0.08, 3, true)
+	res, err := nearspan.BuildSpanner(g, nearspan.Config{Eps: 1.0 / 3, Kappa: 3, Rho: 0.49})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nearspan.VerifyStretch(g, res.Spanner, 1+res.Params.EpsPrime(), res.Params.BetaInt())
+	}
+}
+
+// --- Construction scaling ---
+
+func benchBuild(b *testing.B, n int, mode core.Mode) {
+	g := gen.GNP(n, 16/float64(n), uint64(n), true)
+	p, err := params.New(1.0/3, 3, 0.49, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, p, core.Options{Mode: mode}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildCentralized256(b *testing.B)  { benchBuild(b, 256, core.ModeCentralized) }
+func BenchmarkBuildCentralized1024(b *testing.B) { benchBuild(b, 1024, core.ModeCentralized) }
+func BenchmarkBuildCentralized4096(b *testing.B) { benchBuild(b, 4096, core.ModeCentralized) }
+func BenchmarkBuildDistributed256(b *testing.B)  { benchBuild(b, 256, core.ModeDistributed) }
+func BenchmarkBuildDistributed1024(b *testing.B) { benchBuild(b, 1024, core.ModeDistributed) }
+
+// --- CONGEST engine micro-benchmarks ---
+
+func benchEngine(b *testing.B, engine congest.Engine) {
+	g := gen.Torus(16, 16)
+	isCenter := func(v int) bool { return v%4 == 0 }
+	rounds := protocols.NearNeighborsRounds(6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := congest.NewUniform(g, protocols.NewNearNeighbors(isCenter, 6, 8),
+			congest.Options{Engine: engine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(rounds); err != nil {
+			b.Fatal(err)
+		}
+		sim.Close()
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, congest.EngineSequential) }
+func BenchmarkEngineGoroutine(b *testing.B)  { benchEngine(b, congest.EngineGoroutine) }
+
+// --- Ablation benches ---
+
+// BenchmarkAblationRulingSetVsSampling compares the deterministic
+// superclustering selection against EN17-style sampling (ablation A1's
+// runtime face).
+func BenchmarkAblationRulingSetVsSampling(b *testing.B) {
+	cfg := experiments.QuickConfigs()[0]
+	b.Run("ruling-set", func(b *testing.B) {
+		p, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(cfg.Graph, p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampling-en17", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nearspan.BuildEN17(cfg.Graph, cfg.Eps, cfg.Kappa, cfg.Rho, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

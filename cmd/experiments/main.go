@@ -1,0 +1,26 @@
+// Command experiments runs the full reproduction suite: Table 1, Table 2,
+// the Figure 1-8 structural experiments, the quantitative per-lemma
+// claims, and the ablations. The output of this command is the content
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nearspan/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced workload suite")
+	flag.Parse()
+	cfgs := experiments.DefaultConfigs()
+	if *quick {
+		cfgs = experiments.QuickConfigs()
+	}
+	if err := experiments.Suite(os.Stdout, cfgs); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Command figures renders the reproductions of the paper's Figures 1–8:
+// each illustrative figure becomes a verified structural experiment plus
+// an ASCII rendering on a grid workload (see DESIGN.md §3.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nearspan/internal/experiments"
+)
+
+func main() {
+	def := experiments.DefaultFigureConfig()
+	var (
+		rows    = flag.Int("rows", def.Rows, "grid rows")
+		cols    = flag.Int("cols", def.Cols, "grid cols")
+		tails   = flag.Int("tails", def.Tails, "number of tails (unpopular fringes)")
+		tailLen = flag.Int("taillen", def.TailLen, "tail length")
+		eps     = flag.Float64("eps", def.Eps, "internal epsilon")
+		kappa   = flag.Int("kappa", def.Kappa, "kappa")
+		rho     = flag.Float64("rho", def.Rho, "rho")
+	)
+	flag.Parse()
+	fc := experiments.FigureConfig{
+		Rows: *rows, Cols: *cols, Tails: *tails, TailLen: *tailLen,
+		Eps: *eps, Kappa: *kappa, Rho: *rho,
+	}
+	if err := experiments.Figures(os.Stdout, fc); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,162 @@
+// Command spanner builds a near-additive spanner of a generated workload
+// graph, verifies its guarantees, and prints the per-phase statistics —
+// the CLI face of the library.
+//
+// Examples:
+//
+//	spanner -graph gnp -n 600 -p 0.03 -eps 0.33 -kappa 3 -rho 0.49
+//	spanner -graph torus -n 576 -mode distributed -csv
+//	spanner -graph communities -n 500 -verify=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"nearspan"
+	"nearspan/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "spanner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family = flag.String("graph", "gnp", "workload family: gnp|grid|torus|communities|regular|pa|hypercube|path")
+		input  = flag.String("input", "", "read the graph from an edge-list file instead of generating (header 'n m', one 'u v' per line)")
+		n      = flag.Int("n", 400, "number of vertices (rounded to the family's shape)")
+		p      = flag.Float64("p", 0.03, "edge probability for gnp")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		eps    = flag.Float64("eps", 1.0/3, "internal epsilon (0 < eps <= 1)")
+		kappa  = flag.Int("kappa", 3, "size exponent kappa (>= 2)")
+		rho    = flag.Float64("rho", 0.49, "round exponent rho (1/kappa <= rho < 1/2)")
+		mode   = flag.String("mode", "centralized", "execution mode: centralized|distributed|goroutine")
+		verify = flag.Bool("verify", true, "verify the stretch bound exactly (O(n(m_G+m_H)))")
+		csv    = flag.Bool("csv", false, "emit phase table as CSV")
+	)
+	flag.Parse()
+
+	var g *nearspan.Graph
+	var err error
+	if *input != "" {
+		g, err = readGraphFile(*input)
+	} else {
+		g, err = makeGraph(*family, *n, *p, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	cfg := nearspan.Config{Eps: *eps, Kappa: *kappa, Rho: *rho, KeepClusters: false}
+	switch *mode {
+	case "centralized":
+		cfg.Mode = nearspan.CentralizedMode
+	case "distributed":
+		cfg.Mode = nearspan.DistributedMode
+	case "goroutine":
+		cfg.Mode = nearspan.DistributedMode
+		cfg.GoroutineEngine = true
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	res, err := nearspan.BuildSpanner(g, cfg)
+	if err != nil {
+		return err
+	}
+	pp := res.Params
+	source := *family
+	if *input != "" {
+		source = *input
+	}
+	fmt.Printf("graph: %s n=%d m=%d\n", source, g.N(), g.M())
+	fmt.Printf("params: %s\n", pp)
+	fmt.Printf("spanner: %d edges (%.1f%% of G), guarantee (1+%.3f)d + %d\n",
+		res.EdgeCount(), 100*float64(res.EdgeCount())/math.Max(1, float64(g.M())),
+		pp.EpsPrime(), pp.BetaInt())
+	if cfg.Mode == nearspan.DistributedMode {
+		fmt.Printf("CONGEST: %d rounds, %d messages\n", res.TotalRounds, res.Messages)
+	}
+
+	t := stats.NewTable("phases", "i", "deg_i", "delta_i", "|P_i|", "|W_i|", "|RS_i|", "|U_i|",
+		"edges SC", "edges IC", "rounds")
+	for _, ph := range res.Phases {
+		t.Add(stats.Itoa(ph.Index), stats.Itoa(ph.Deg), stats.Itoa(int(ph.Delta)),
+			stats.Itoa(ph.Clusters), stats.Itoa(ph.Popular), stats.Itoa(ph.RulingSet),
+			stats.Itoa(ph.Unclustered), stats.Itoa(ph.EdgesSC), stats.Itoa(ph.EdgesIC),
+			stats.Itoa(ph.Rounds()))
+	}
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+
+	if *verify {
+		rep := nearspan.VerifyStretch(g, res.Spanner, 1+pp.EpsPrime(), pp.BetaInt())
+		fmt.Printf("verification: %s\n", rep)
+		if !rep.OK() {
+			return fmt.Errorf("stretch bound violated")
+		}
+	}
+	return nil
+}
+
+func makeGraph(family string, n int, p float64, seed uint64) (*nearspan.Graph, error) {
+	switch family {
+	case "gnp":
+		return nearspan.GNP(n, p, seed, true), nil
+	case "grid":
+		side := intSqrt(n)
+		return nearspan.Grid(side, side), nil
+	case "torus":
+		side := intSqrt(n)
+		return nearspan.Torus(side, side), nil
+	case "communities":
+		k := n / 50
+		if k < 2 {
+			k = 2
+		}
+		return nearspan.Communities(k, n/k, 0.3, 0.002, seed), nil
+	case "regular":
+		d := 8
+		if n*d%2 != 0 {
+			d = 7
+		}
+		return nearspan.RandomRegular(n, d, seed)
+	case "pa":
+		return nearspan.PreferentialAttachment(n, 3, seed)
+	case "hypercube":
+		d := 0
+		for 1<<d < n {
+			d++
+		}
+		return nearspan.Hypercube(d), nil
+	case "path":
+		return nearspan.Path(n), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func readGraphFile(path string) (*nearspan.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nearspan.ReadEdgeList(f)
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPartialClusters builds a random valid set of disjoint clusters
+// over n vertices.
+func randomPartialClusters(r *rand.Rand, n int) []Cluster {
+	perm := r.Perm(n)
+	var clusters []Cluster
+	i := 0
+	for i < n {
+		size := 1 + r.Intn(4)
+		if i+size > n {
+			size = n - i
+		}
+		ms := make([]int32, 0, size)
+		for j := 0; j < size; j++ {
+			ms = append(ms, int32(perm[i+j]))
+		}
+		clusters = append(clusters, Cluster{Center: int(ms[r.Intn(len(ms))]), Members: ms})
+		i += size
+		if r.Intn(4) == 0 && i < n {
+			i++ // leave a vertex unclustered
+		}
+	}
+	return clusters
+}
+
+// Merge preserves the member multiset of the merged clusters: no vertex
+// is lost or duplicated.
+func TestPropMergePreservesMembers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(40)
+		col, err := NewCollection(n, randomPartialClusters(r, n))
+		if err != nil {
+			t.Logf("setup: %v", err)
+			return false
+		}
+		centers := col.Centers()
+		if len(centers) < 2 {
+			return true
+		}
+		// Assign a random subset of centers to random target centers.
+		assignment := make(map[int]int)
+		targets := centers[:1+r.Intn(len(centers))]
+		for _, c := range centers {
+			if r.Intn(2) == 0 {
+				assignment[c] = targets[r.Intn(len(targets))]
+			}
+		}
+		// Targets must assign to themselves if they appear as values.
+		used := make(map[int]bool)
+		for _, tgt := range assignment {
+			used[tgt] = true
+		}
+		for tgt := range used {
+			assignment[tgt] = tgt
+		}
+		var wantMembers int
+		for c := range assignment {
+			wantMembers += len(col.ClusterOf(c).Members)
+		}
+		next, err := col.Merge(n, assignment)
+		if err != nil {
+			t.Logf("merge: %v", err)
+			return false
+		}
+		got := 0
+		seen := make(map[int32]bool)
+		for _, cl := range next.Clusters {
+			for _, m := range cl.Members {
+				if seen[m] {
+					t.Logf("duplicate member %d", m)
+					return false
+				}
+				seen[m] = true
+				got++
+			}
+		}
+		return got == wantMembers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Subset plus its complement always partitions the original collection's
+// vertex support.
+func TestPropSubsetComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(40)
+		col, err := NewCollection(n, randomPartialClusters(r, n))
+		if err != nil {
+			return false
+		}
+		keepOdd := func(c int) bool { return c%2 == 1 }
+		odd, err := col.Subset(n, keepOdd)
+		if err != nil {
+			return false
+		}
+		even, err := col.Subset(n, func(c int) bool { return !keepOdd(c) })
+		if err != nil {
+			return false
+		}
+		// Together they cover exactly the original support.
+		covered := 0
+		for _, c := range []*Collection{odd, even} {
+			for _, cl := range c.Clusters {
+				covered += len(cl.Members)
+			}
+		}
+		orig := 0
+		for _, cl := range col.Clusters {
+			orig += len(cl.Members)
+		}
+		return covered == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package congest simulates the synchronous CONGEST model of distributed
+// computation (Peleg 2000; paper §1.3.1): one processor per graph vertex,
+// communication with graph neighbors in synchronous rounds, and messages
+// limited to O(1) words per edge per round.
+//
+// Two interchangeable engines execute node programs:
+//
+//   - EngineSequential: a single-threaded round loop — fast, used for
+//     large experiments.
+//   - EngineGoroutine: one goroutine per vertex with channel-based round
+//     barriers — the natural Go rendering of message-passing processors,
+//     used to demonstrate and cross-check model fidelity.
+//
+// Both engines are deterministic and produce identical executions for the
+// same program (tested), so round counts measured on either are the
+// paper's "running time".
+//
+// Bandwidth is enforced: a node may send at most Options.Bandwidth
+// messages (default 1) of at most MessageWords words over each incident
+// edge per round. Violations are reported as errors, never silently
+// dropped, so an algorithm that would not be a valid CONGEST algorithm
+// cannot produce a result that looks valid.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nearspan/internal/graph"
+)
+
+// MessageWords is the fixed number of payload words in a Message. Three
+// words fit every protocol in this repository (e.g. center ID + distance),
+// and keeping it a small constant is exactly the CONGEST "O(1) words"
+// regime.
+const MessageWords = 3
+
+// Message is one CONGEST message: a kind tag plus MessageWords words.
+type Message struct {
+	Kind  uint8
+	Words [MessageWords]int64
+}
+
+// Inbound is a received message together with the local port it arrived
+// on. Port p of vertex v corresponds to v's p-th neighbor in sorted
+// adjacency order (the standard port-numbering model).
+type Inbound struct {
+	Port int
+	Msg  Message
+}
+
+// Program is the per-vertex state machine. Each vertex runs its own
+// Program instance.
+//
+// Init is called once before round 1; messages sent from Init are
+// delivered in round 1. Round is called once per round r >= 1 with the
+// messages sent to this vertex in the previous round (or Init), sorted by
+// arrival port. Messages sent during Round(r) are delivered at Round(r+1).
+//
+// The recv slice is reused between calls: programs must not retain it (or
+// its elements by reference) past the return of Round.
+type Program interface {
+	Init(env *Env)
+	Round(env *Env, recv []Inbound)
+}
+
+// Engine selects the execution strategy.
+type Engine int
+
+const (
+	// EngineSequential runs all vertices in a single goroutine.
+	EngineSequential Engine = iota + 1
+	// EngineGoroutine runs one goroutine per vertex with round barriers.
+	EngineGoroutine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EngineGoroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// DeliveryOrder controls the order in which a round's messages are
+// presented to Program.Round. Correct CONGEST algorithms must not depend
+// on arrival order within a round; running the test suite under
+// DeliverPortDescending is a cheap adversarial-scheduling check.
+type DeliveryOrder int
+
+const (
+	// DeliverPortAscending presents messages sorted by arrival port
+	// (the default).
+	DeliverPortAscending DeliveryOrder = iota
+	// DeliverPortDescending presents messages in reverse port order.
+	DeliverPortDescending
+)
+
+// Options configure a Simulator. The zero value selects the sequential
+// engine with bandwidth 1 and ascending delivery.
+type Options struct {
+	Engine    Engine        // defaults to EngineSequential
+	Bandwidth int           // messages per directed edge per round; defaults to 1
+	Delivery  DeliveryOrder // defaults to DeliverPortAscending
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == 0 {
+		o.Engine = EngineSequential
+	}
+	if o.Bandwidth <= 0 {
+		o.Bandwidth = 1
+	}
+	return o
+}
+
+// Metrics aggregates execution statistics. Rounds counts executed rounds
+// (Init is not a round). Messages counts sent messages.
+type Metrics struct {
+	Rounds          int
+	Messages        int64
+	MaxRoundTraffic int64 // most messages sent in any single round
+}
+
+// ErrBandwidth is returned (wrapped) when a program exceeds the per-edge
+// per-round message budget.
+var ErrBandwidth = errors.New("congest: bandwidth exceeded")
+
+// ErrPort is returned (wrapped) when a program sends on an invalid port.
+var ErrPort = errors.New("congest: invalid port")
+
+// Simulator executes one Program instance per vertex of a graph.
+type Simulator struct {
+	g     *graph.Graph
+	opts  Options
+	progs []Program
+	envs  []Env
+
+	// twin[s] is the directed-edge slot of the reverse edge of slot s,
+	// where slot slotBase[v]+p is the edge out of vertex v's port p.
+	twin []int32
+
+	// cur holds messages deliverable this round; next collects sends.
+	// Slot s occupies entries [s*Bandwidth, s*Bandwidth+counts[s]).
+	cur, next           []Message
+	curCounts, nxCounts []uint16
+
+	metrics Metrics
+	halted  []bool
+	round   int
+
+	violMu         sync.Mutex
+	firstViolation error
+
+	workers *workerPool // lazily started for EngineGoroutine
+}
+
+// New creates a simulator running progs[v] at vertex v.
+func New(g *graph.Graph, progs []Program, opts Options) (*Simulator, error) {
+	if len(progs) != g.N() {
+		return nil, fmt.Errorf("congest: %d programs for %d vertices", len(progs), g.N())
+	}
+	opts = opts.withDefaults()
+	s := &Simulator{g: g, opts: opts, progs: progs}
+	nSlots := 0
+	slotBase := make([]int32, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		slotBase[v+1] = slotBase[v] + int32(g.Degree(v))
+		nSlots += g.Degree(v)
+	}
+	s.twin = make([]int32, nSlots)
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			q := g.PortOf(w, v)
+			s.twin[slotBase[v]+int32(p)] = slotBase[w] + int32(q)
+		}
+	}
+	b := opts.Bandwidth
+	s.cur = make([]Message, nSlots*b)
+	s.next = make([]Message, nSlots*b)
+	s.curCounts = make([]uint16, nSlots)
+	s.nxCounts = make([]uint16, nSlots)
+	s.halted = make([]bool, g.N())
+	s.envs = make([]Env, g.N())
+	for v := 0; v < g.N(); v++ {
+		s.envs[v] = Env{sim: s, id: v, slotBase: int(slotBase[v])}
+	}
+	return s, nil
+}
+
+// NewUniform creates a simulator where every vertex runs factory(v).
+func NewUniform(g *graph.Graph, factory func(v int) Program, opts Options) (*Simulator, error) {
+	progs := make([]Program, g.N())
+	for v := range progs {
+		progs[v] = factory(v)
+	}
+	return New(g, progs, opts)
+}
+
+// Metrics returns execution statistics so far.
+func (s *Simulator) Metrics() Metrics { return s.metrics }
+
+// Round returns the number of rounds executed so far.
+func (s *Simulator) Round() int { return s.round }
+
+// Graph returns the underlying topology (read-only).
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// Program returns the program instance at vertex v, for extracting local
+// results after a run.
+func (s *Simulator) Program(v int) Program { return s.progs[v] }
+
+// Env is a vertex's handle to the simulator: identity, the topology
+// access permitted by the model, and message sending. An Env is only
+// valid inside the Program callbacks it is passed to.
+type Env struct {
+	sim      *Simulator
+	id       int
+	slotBase int
+}
+
+// ID returns this vertex's identifier in [0, n).
+func (e *Env) ID() int { return e.id }
+
+// N returns the number of vertices (known to all vertices; paper §1.3.1).
+func (e *Env) N() int { return e.sim.g.N() }
+
+// Degree returns this vertex's degree.
+func (e *Env) Degree() int { return e.sim.g.Degree(e.id) }
+
+// NeighborID returns the ID of the neighbor on the given port. In CONGEST
+// neighbors can exchange IDs in a single round; exposing them directly is
+// the standard assumption and costs the algorithms nothing.
+func (e *Env) NeighborID(port int) int { return e.sim.g.Neighbor(e.id, port) }
+
+// Round returns the current round number (0 during Init).
+func (e *Env) Round() int { return e.sim.round }
+
+// Send transmits m over the given port; it is delivered next round. Send
+// reports a violation error if the port is out of range or the per-edge
+// bandwidth for this round is exhausted; the message is then dropped and
+// the violation also fails the enclosing Run.
+func (e *Env) Send(port int, m Message) error {
+	if port < 0 || port >= e.Degree() {
+		err := fmt.Errorf("%w: vertex %d port %d (degree %d)", ErrPort, e.id, port, e.Degree())
+		e.sim.recordViolation(err)
+		return err
+	}
+	s := e.slotBase + port
+	b := e.sim.opts.Bandwidth
+	if int(e.sim.nxCounts[s]) >= b {
+		err := fmt.Errorf("%w: vertex %d port %d round %d (bandwidth %d)",
+			ErrBandwidth, e.id, port, e.sim.round, b)
+		e.sim.recordViolation(err)
+		return err
+	}
+	e.sim.next[s*b+int(e.sim.nxCounts[s])] = m
+	e.sim.nxCounts[s]++
+	return nil
+}
+
+// Broadcast sends m over every incident edge (one message per edge, which
+// always fits a bandwidth-1 budget if nothing else is sent that round).
+func (e *Env) Broadcast(m Message) error {
+	for p := 0; p < e.Degree(); p++ {
+		if err := e.Send(p, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Halt marks this vertex as idle: its Round method is not invoked again
+// until a message arrives. Used for message-driven quiescence.
+func (e *Env) Halt() { e.sim.halted[e.id] = true }
+
+func (s *Simulator) recordViolation(err error) {
+	s.violMu.Lock()
+	if s.firstViolation == nil {
+		s.firstViolation = err
+	}
+	s.violMu.Unlock()
+}
+
+func (s *Simulator) violation() error {
+	s.violMu.Lock()
+	defer s.violMu.Unlock()
+	return s.firstViolation
+}
+
+// Run executes exactly rounds additional rounds (calling Init first if no
+// round has run yet) and returns the first model violation, if any.
+func (s *Simulator) Run(rounds int) error {
+	if s.round == 0 {
+		s.runInit()
+	}
+	for i := 0; i < rounds; i++ {
+		s.step()
+		if err := s.violation(); err != nil {
+			return err
+		}
+	}
+	return s.violation()
+}
+
+// RunUntilQuiet executes rounds until no messages are in flight and every
+// vertex has halted, up to maxRounds. It returns the number of rounds
+// executed and the first violation, if any.
+//
+// Quiescence here is the message-driven kind: a protocol that acts on a
+// precomputed round schedule must use Run with its schedule length.
+func (s *Simulator) RunUntilQuiet(maxRounds int) (int, error) {
+	if s.round == 0 {
+		s.runInit()
+	}
+	start := s.round
+	for i := 0; i < maxRounds; i++ {
+		if s.quiet() {
+			break
+		}
+		s.step()
+		if err := s.violation(); err != nil {
+			return s.round - start, err
+		}
+	}
+	return s.round - start, s.violation()
+}
+
+func (s *Simulator) quiet() bool {
+	for _, c := range s.curCounts {
+		if c > 0 {
+			return false
+		}
+	}
+	for _, h := range s.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) runInit() {
+	for v := 0; v < s.g.N(); v++ {
+		s.progs[v].Init(&s.envs[v])
+	}
+	s.flip()
+}
+
+// step executes one round on the configured engine.
+func (s *Simulator) step() {
+	s.round++
+	switch s.opts.Engine {
+	case EngineGoroutine:
+		s.stepGoroutine()
+	default:
+		s.stepSequential()
+	}
+	s.flip()
+}
+
+// flip swaps the message buffers after a round: what was sent becomes
+// deliverable, and the send buffer is cleared. Metrics are updated here
+// so both engines share the accounting.
+func (s *Simulator) flip() {
+	var sent int64
+	for _, c := range s.nxCounts {
+		sent += int64(c)
+	}
+	s.metrics.Messages += sent
+	if sent > s.metrics.MaxRoundTraffic {
+		s.metrics.MaxRoundTraffic = sent
+	}
+	s.metrics.Rounds = s.round
+	s.cur, s.next = s.next, s.cur
+	s.curCounts, s.nxCounts = s.nxCounts, s.curCounts
+	for i := range s.nxCounts {
+		s.nxCounts[i] = 0
+	}
+}
+
+// gatherInbound collects vertex v's deliverable messages in the
+// configured delivery order. scratch is reused across calls to avoid
+// per-round allocation.
+func (s *Simulator) gatherInbound(v int, scratch []Inbound) []Inbound {
+	recv := scratch[:0]
+	env := &s.envs[v]
+	b := s.opts.Bandwidth
+	deg := s.g.Degree(v)
+	appendPort := func(p int) {
+		src := s.twin[env.slotBase+p] // slot of the edge (neighbor -> v)
+		for k := 0; k < int(s.curCounts[src]); k++ {
+			recv = append(recv, Inbound{Port: p, Msg: s.cur[int(src)*b+k]})
+		}
+	}
+	if s.opts.Delivery == DeliverPortDescending {
+		for p := deg - 1; p >= 0; p-- {
+			appendPort(p)
+		}
+	} else {
+		for p := 0; p < deg; p++ {
+			appendPort(p)
+		}
+	}
+	return recv
+}
+
+func (s *Simulator) stepSequential() {
+	scratch := make([]Inbound, 0, 64)
+	for v := 0; v < s.g.N(); v++ {
+		recv := s.gatherInbound(v, scratch)
+		if len(recv) > 0 {
+			s.halted[v] = false
+		}
+		if s.halted[v] {
+			continue
+		}
+		s.progs[v].Round(&s.envs[v], recv)
+		scratch = recv[:0]
+	}
+}

@@ -1,0 +1,95 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// workerPool hosts one long-lived goroutine per vertex. Each round the
+// coordinator releases every worker through its start channel and waits on
+// the barrier; workers process their vertex's inbound messages and report
+// back. Memory safety without locks follows from disjoint write sets:
+// worker v writes only v's outbound slots, v's halted flag, and v's
+// program state, and reads the (frozen) cur buffer.
+type workerPool struct {
+	start     []chan struct{}
+	barrier   sync.WaitGroup // round completion
+	lifetime  sync.WaitGroup // worker shutdown
+	closeOnce sync.Once
+
+	panicMu  sync.Mutex
+	panicked any
+}
+
+func (s *Simulator) startWorkers() {
+	wp := &workerPool{start: make([]chan struct{}, s.g.N())}
+	for v := 0; v < s.g.N(); v++ {
+		wp.start[v] = make(chan struct{})
+	}
+	wp.lifetime.Add(s.g.N())
+	for v := 0; v < s.g.N(); v++ {
+		go s.worker(wp, v)
+	}
+	s.workers = wp
+}
+
+func (s *Simulator) worker(wp *workerPool, v int) {
+	defer wp.lifetime.Done()
+	scratch := make([]Inbound, 0, 16)
+	for range wp.start[v] {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					wp.panicMu.Lock()
+					if wp.panicked == nil {
+						wp.panicked = fmt.Sprintf("vertex %d: %v", v, r)
+					}
+					wp.panicMu.Unlock()
+				}
+				wp.barrier.Done()
+			}()
+			recv := s.gatherInbound(v, scratch)
+			if len(recv) > 0 {
+				s.halted[v] = false
+			}
+			if !s.halted[v] {
+				s.progs[v].Round(&s.envs[v], recv)
+			}
+			scratch = recv[:0]
+		}()
+	}
+}
+
+func (s *Simulator) stepGoroutine() {
+	if s.workers == nil {
+		s.startWorkers()
+	}
+	wp := s.workers
+	wp.barrier.Add(s.g.N())
+	for _, ch := range wp.start {
+		ch <- struct{}{}
+	}
+	wp.barrier.Wait()
+	wp.panicMu.Lock()
+	p := wp.panicked
+	wp.panicMu.Unlock()
+	if p != nil {
+		s.Close()
+		panic(p) // re-raise program panics on the coordinating goroutine
+	}
+}
+
+// Close releases the worker goroutines of the goroutine engine. It is a
+// no-op for the sequential engine and safe to call multiple times. Always
+// call it (e.g. via defer) after running with EngineGoroutine.
+func (s *Simulator) Close() {
+	if s.workers == nil {
+		return
+	}
+	s.workers.closeOnce.Do(func() {
+		for _, ch := range s.workers.start {
+			close(ch)
+		}
+		s.workers.lifetime.Wait()
+	})
+}

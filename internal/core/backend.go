@@ -1,0 +1,210 @@
+package core
+
+import (
+	"nearspan/internal/congest"
+	"nearspan/internal/graph"
+	"nearspan/internal/protocols"
+)
+
+// distributedBackend executes each protocol step on the CONGEST
+// simulator. Round counts are measured; fixed-schedule protocols run for
+// exactly their budget (all vertices know the schedule, §1.3.1), and
+// path climbs run to quiescence.
+type distributedBackend struct {
+	g          *graph.Graph
+	nEst       int // the vertex-count estimate known to the vertices
+	goroutines bool
+	msgs       int64
+}
+
+func (d *distributedBackend) opts() congest.Options {
+	eng := congest.EngineSequential
+	if d.goroutines {
+		eng = congest.EngineGoroutine
+	}
+	return congest.Options{Engine: eng}
+}
+
+func (d *distributedBackend) messages() int64 { return d.msgs }
+
+func (d *distributedBackend) run(factory func(v int) congest.Program, rounds int) (*congest.Simulator, error) {
+	sim, err := congest.NewUniform(d.g, factory, d.opts())
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Run(rounds); err != nil {
+		sim.Close()
+		return nil, err
+	}
+	d.msgs += sim.Metrics().Messages
+	return sim, nil
+}
+
+func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+	// The schedule always consumes its budget (vertices cannot detect
+	// global emptiness), but with no centers not a single message flows,
+	// so the simulation itself can be skipped.
+	rounds := protocols.NearNeighborsRounds(deg, delta)
+	if len(centers) == 0 {
+		n := d.g.N()
+		return protocols.NNResult{
+			Known:   make([]map[int64]int32, n),
+			Via:     make([]map[int64]int, n),
+			Popular: make([]bool, n),
+		}, rounds, nil
+	}
+	isC := membership(d.g.N(), centers)
+	sim, err := d.run(protocols.NewNearNeighbors(func(v int) bool { return isC[v] }, deg, delta), rounds)
+	if err != nil {
+		return protocols.NNResult{}, 0, err
+	}
+	defer sim.Close()
+	return protocols.ExtractNN(sim), rounds, nil
+}
+
+func (d *distributedBackend) rulingSet(members []int, q int32, c int) ([]int, int, error) {
+	rounds := protocols.RulingSetRounds(q, c, d.nEst)
+	if len(members) == 0 {
+		return nil, rounds, nil
+	}
+	isM := membership(d.g.N(), members)
+	sim, err := d.run(protocols.NewRulingSet(func(v int) bool { return isM[v] }, q, c, d.nEst), rounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sim.Close()
+	return protocols.ExtractRulingSet(sim), rounds, nil
+}
+
+func (d *distributedBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
+	rounds := protocols.ForestRounds(depth)
+	if len(roots) == 0 {
+		n := d.g.N()
+		res := protocols.ForestResult{
+			Dist:       make([]int32, n),
+			Root:       make([]int64, n),
+			ParentPort: make([]int, n),
+		}
+		for v := 0; v < n; v++ {
+			res.Dist[v] = -1
+			res.Root[v] = -1
+			res.ParentPort[v] = -1
+		}
+		return res, rounds, nil
+	}
+	isR := membership(d.g.N(), roots)
+	sim, err := d.run(protocols.NewBFSForest(func(v int) bool { return isR[v] }, depth), rounds)
+	if err != nil {
+		return protocols.ForestResult{}, 0, err
+	}
+	defer sim.Close()
+	return protocols.ExtractForest(sim), rounds, nil
+}
+
+func (d *distributedBackend) climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+	any := false
+	for _, s := range start {
+		if len(s) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return map[protocols.Edge]bool{}, 0, nil
+	}
+	sim, err := congest.NewUniform(d.g, protocols.NewClimb(via, start), d.opts())
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sim.Close()
+	rounds, err := sim.RunUntilQuiet(protocols.ClimbMaxRounds(keysPerVertex, pathLen))
+	if err != nil {
+		return nil, 0, err
+	}
+	d.msgs += sim.Metrics().Messages
+	return protocols.ExtractClimbEdges(sim), rounds, nil
+}
+
+func membership(n int, xs []int) []bool {
+	m := make([]bool, n)
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// centralBackend computes the same outputs with the centralized oracles:
+// identical deterministic decisions, no rounds. Fixed-schedule round
+// budgets are still reported (they are parameter functions, equal to the
+// distributed measurements); climbs report zero rounds.
+type centralBackend struct {
+	g    *graph.Graph
+	nEst int
+}
+
+func (c *centralBackend) messages() int64 { return 0 }
+
+func (c *centralBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+	return protocols.CentralNearNeighbors(c.g, centers, deg, delta),
+		protocols.NearNeighborsRounds(deg, delta), nil
+}
+
+func (c *centralBackend) rulingSet(members []int, q int32, cc int) ([]int, int, error) {
+	return protocols.CentralRulingSet(c.g, members, q, cc, c.nEst),
+		protocols.RulingSetRounds(q, cc, c.nEst), nil
+}
+
+func (c *centralBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
+	n := c.g.N()
+	res := protocols.ForestResult{
+		Dist:       make([]int32, n),
+		Root:       make([]int64, n),
+		ParentPort: make([]int, n),
+	}
+	dist, root, parent := c.g.MultiBFS(roots, depth)
+	for v := 0; v < n; v++ {
+		if dist[v] == graph.Infinity {
+			res.Dist[v] = -1
+			res.Root[v] = -1
+			res.ParentPort[v] = -1
+			continue
+		}
+		res.Dist[v] = dist[v]
+		res.Root[v] = int64(root[v])
+		if parent[v] >= 0 {
+			res.ParentPort[v] = c.g.PortOf(v, int(parent[v]))
+		} else {
+			res.ParentPort[v] = -1
+		}
+	}
+	return res, protocols.ForestRounds(depth), nil
+}
+
+// climb walks the pointer chains directly; the per-key visited set
+// reproduces the distributed protocol's forward-once dedupe, so the
+// marked edge set is identical.
+func (c *centralBackend) climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+	edges := make(map[protocols.Edge]bool)
+	visited := make(map[int64]map[int]bool) // key -> vertices that forwarded
+	for v := range start {
+		for _, k := range start[v] {
+			vis := visited[k]
+			if vis == nil {
+				vis = make(map[int]bool)
+				visited[k] = vis
+			}
+			cur := v
+			for !vis[cur] && int64(cur) != k {
+				vis[cur] = true
+				port, ok := via[cur][k]
+				if !ok {
+					break
+				}
+				next := c.g.Neighbor(cur, port)
+				edges[protocols.NormEdge(cur, next)] = true
+				cur = next
+			}
+		}
+	}
+	return edges, 0, nil
+}

@@ -1,0 +1,336 @@
+// Package core implements the paper's contribution: the deterministic
+// CONGEST-model construction of (1+ε, β)-spanners (§2).
+//
+// The construction proceeds in phases over a shrinking collection of
+// clusters. Each phase i runs:
+//
+//	superclustering (§2.2)
+//	  1. Algorithm 1 detects popular cluster centers W_i
+//	     (>= deg_i other centers within δ_i).
+//	  2. A deterministic (2δ_i+1, (2/ρ̂)δ_i)-ruling set RS_i ⊆ W_i is
+//	     computed (Theorem 2.2).
+//	  3. A BFS forest of depth (2/ρ̂)δ_i grown from RS_i superclusters
+//	     every spanned center's cluster into its root's supercluster
+//	     (Lemma 2.4 guarantees all popular centers are spanned); the
+//	     forest root paths are added to H.
+//	interconnection (§2.3)
+//	  4. Every center whose cluster was not superclustered (U_i) adds a
+//	     shortest path to every center within δ_i, using the traceback
+//	     pointers recorded by Algorithm 1.
+//
+// The final phase ℓ skips superclustering. The union of the added paths
+// and forests is the spanner H.
+//
+// Build executes the construction either distributedly (on the CONGEST
+// simulator, measuring rounds) or centrally (same deterministic
+// decisions, no round machinery); the two modes produce the identical
+// spanner (tested), so large-scale size/stretch experiments can use the
+// fast mode while round measurements come from the real protocol stack.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nearspan/internal/cluster"
+	"nearspan/internal/graph"
+	"nearspan/internal/params"
+	"nearspan/internal/protocols"
+)
+
+// Mode selects the execution backend.
+type Mode int
+
+const (
+	// ModeCentralized runs the reference implementation.
+	ModeCentralized Mode = iota + 1
+	// ModeDistributed runs the CONGEST protocol stack.
+	ModeDistributed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCentralized:
+		return "centralized"
+	case ModeDistributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure Build. The zero value selects the centralized
+// backend.
+type Options struct {
+	Mode Mode
+	// GoroutineEngine selects the goroutine CONGEST engine instead of
+	// the sequential one (ModeDistributed only).
+	GoroutineEngine bool
+	// KeepClusters retains the per-phase cluster collections in the
+	// result for verification and figure rendering (memory-heavy on
+	// large graphs).
+	KeepClusters bool
+}
+
+// PhaseStats records one phase's measurements, aligned with the paper's
+// per-phase quantities.
+type PhaseStats struct {
+	Index       int
+	Deg         int   // deg_i
+	Delta       int32 // δ_i
+	Clusters    int   // |P_i|
+	Popular     int   // |W_i|
+	RulingSet   int   // |RS_i| = |P_{i+1}|
+	Unclustered int   // |U_i|
+	EdgesSC     int   // edges added by superclustering
+	EdgesIC     int   // edges added by interconnection
+	RoundsNN    int   // Algorithm 1 rounds
+	RoundsRS    int   // ruling set rounds
+	RoundsSC    int   // forest growth + forest-climb rounds
+	RoundsIC    int   // interconnection trace rounds
+	Messages    int64 // messages sent during this phase (distributed mode)
+}
+
+// Rounds returns the phase's total round count.
+func (ps PhaseStats) Rounds() int {
+	return ps.RoundsNN + ps.RoundsRS + ps.RoundsSC + ps.RoundsIC
+}
+
+// Result is the outcome of one spanner construction.
+type Result struct {
+	Spanner *graph.Graph
+	Params  *params.Params
+	Mode    Mode
+	Phases  []PhaseStats
+
+	// TotalRounds is the measured CONGEST round count in
+	// ModeDistributed. In ModeCentralized it counts only the
+	// fixed-schedule protocol budgets (Algorithm 1, ruling sets, forest
+	// growth), which are identical to the distributed ones by
+	// construction; the message-driven path-tracing rounds are measured
+	// only by the distributed mode.
+	TotalRounds int
+	// Messages is the total message count (ModeDistributed only).
+	Messages int64
+
+	// P[i] is the cluster collection entering phase i; U[i] the clusters
+	// interconnected at phase i (only when Options.KeepClusters).
+	P []*cluster.Collection
+	U []*cluster.Collection
+}
+
+// EdgeCount returns |E_H|.
+func (r *Result) EdgeCount() int { return r.Spanner.M() }
+
+// backend abstracts the two execution strategies. Round counts returned
+// by the fixed-schedule steps (nearNeighbors, rulingSet, forest) are the
+// protocol budgets in both modes; climb rounds are measured in
+// distributed mode and zero centrally.
+type backend interface {
+	nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error)
+	rulingSet(members []int, q int32, c int) ([]int, int, error)
+	forest(roots []int, depth int32) (protocols.ForestResult, int, error)
+	climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
+	messages() int64
+}
+
+// Build constructs the spanner for g under p.
+func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
+	if p.N != g.N() {
+		return nil, fmt.Errorf("core: params for n=%d but graph has n=%d", p.N, g.N())
+	}
+	if opts.Mode == 0 {
+		opts.Mode = ModeCentralized
+	}
+	var bk backend
+	switch opts.Mode {
+	case ModeCentralized:
+		bk = &centralBackend{g: g, nEst: p.NEstimate}
+	case ModeDistributed:
+		bk = &distributedBackend{g: g, nEst: p.NEstimate, goroutines: opts.GoroutineEngine}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
+
+	res := &Result{Params: p, Mode: opts.Mode}
+	h := make(map[protocols.Edge]bool)
+	cur := cluster.Singletons(g.N())
+
+	for i := 0; i <= p.L; i++ {
+		if opts.KeepClusters {
+			res.P = append(res.P, cur)
+		}
+		ps := PhaseStats{Index: i, Deg: p.Deg[i], Delta: p.Delta[i], Clusters: cur.Len()}
+		msgsBefore := bk.messages()
+		centers := cur.Centers()
+
+		// Algorithm 1: popularity detection + neighborhood knowledge.
+		nn, nnRounds, err := bk.nearNeighbors(centers, p.Deg[i], p.Delta[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
+		}
+		ps.RoundsNN = nnRounds
+
+		superclustered := make(map[int]bool)
+		var next *cluster.Collection
+		if i < p.L {
+			next, err = superclusterPhase(bk, g, p, i, cur, nn, h, superclustered, &ps)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Interconnection (all phases; phase ℓ has U_ℓ = P_ℓ).
+		icEdges, icRounds, err := interconnect(bk, g, centers, nn, superclustered, p.Delta[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d interconnect: %w", i, err)
+		}
+		ps.RoundsIC = icRounds
+		ps.EdgesIC = addEdges(h, icEdges)
+
+		ps.Unclustered = len(centers) - len(superclustered)
+		ps.Messages = bk.messages() - msgsBefore
+		if opts.KeepClusters {
+			u, err := cur.Subset(g.N(), func(center int) bool { return !superclustered[center] })
+			if err != nil {
+				return nil, fmt.Errorf("core: phase %d U_i: %w", i, err)
+			}
+			res.U = append(res.U, u)
+		}
+		res.Phases = append(res.Phases, ps)
+		if i < p.L {
+			cur = next
+		}
+	}
+
+	res.Spanner = buildSpanner(g.N(), h)
+	for _, ps := range res.Phases {
+		res.TotalRounds += ps.Rounds()
+	}
+	res.Messages = bk.messages()
+	return res, nil
+}
+
+// superclusterPhase runs steps 2–3 of phase i and returns P_{i+1}.
+// It fills the superclustered set, adds forest paths to h, and updates
+// ps in place.
+func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
+	cur *cluster.Collection, nn protocols.NNResult, h map[protocols.Edge]bool,
+	superclustered map[int]bool, ps *PhaseStats) (*cluster.Collection, error) {
+
+	centers := cur.Centers()
+	var popular []int
+	for _, c := range centers {
+		if nn.Popular[c] {
+			popular = append(popular, c)
+		}
+	}
+	ps.Popular = len(popular)
+
+	rs, rsRounds, err := bk.rulingSet(popular, p.RulingSetQ(i), p.C)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase %d ruling set: %w", i, err)
+	}
+	ps.RoundsRS = rsRounds
+	ps.RulingSet = len(rs)
+
+	depth := p.SuperclusterDepth(i)
+	forest, fRounds, err := bk.forest(rs, depth)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase %d forest: %w", i, err)
+	}
+
+	// Spanned centers join their root's supercluster; their forest root
+	// paths go to H via a merged climb (one key: every vertex has a
+	// single forest parent, so climbs toward different roots share the
+	// dedupe).
+	assignment := make(map[int]int)
+	via := make([]map[int64]int, g.N())
+	start := make([][]int64, g.N())
+	const forestKey = int64(-1)
+	for v := 0; v < g.N(); v++ {
+		if forest.ParentPort[v] >= 0 {
+			via[v] = map[int64]int{forestKey: forest.ParentPort[v]}
+		}
+	}
+	for _, c := range centers {
+		if forest.Dist[c] >= 0 {
+			assignment[c] = int(forest.Root[c])
+			superclustered[c] = true
+			if forest.Dist[c] > 0 {
+				start[c] = []int64{forestKey}
+			}
+		}
+	}
+	scEdges, scRounds, err := bk.climb(via, start, 1, int(depth))
+	if err != nil {
+		return nil, fmt.Errorf("core: phase %d supercluster paths: %w", i, err)
+	}
+	ps.RoundsSC = fRounds + scRounds
+	ps.EdgesSC = addEdges(h, scEdges)
+
+	next, err := cur.Merge(g.N(), assignment)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase %d merge: %w", i, err)
+	}
+	return next, nil
+}
+
+// interconnect adds, for every center not superclustered this phase, a
+// shortest path to every center it knows (all centers within δ_i, by
+// Theorem 2.1(2)).
+func interconnect(bk backend, g *graph.Graph, centers []int, nn protocols.NNResult,
+	superclustered map[int]bool, delta int32) (map[protocols.Edge]bool, int, error) {
+
+	via := make([]map[int64]int, g.N())
+	start := make([][]int64, g.N())
+	for v := 0; v < g.N(); v++ {
+		via[v] = nn.Via[v]
+	}
+	maxKeys := 0
+	for _, c := range centers {
+		if superclustered[c] {
+			continue
+		}
+		for target := range nn.Known[c] {
+			start[c] = append(start[c], target)
+		}
+		if len(start[c]) > maxKeys {
+			maxKeys = len(start[c])
+		}
+	}
+	return bk.climb(via, start, maxKeys, int(delta))
+}
+
+func addEdges(h map[protocols.Edge]bool, add map[protocols.Edge]bool) int {
+	n := 0
+	for e := range add {
+		if !h[e] {
+			h[e] = true
+			n++
+		}
+	}
+	return n
+}
+
+func buildSpanner(n int, h map[protocols.Edge]bool) *graph.Graph {
+	hb := graph.NewBuilder(n)
+	edges := make([]protocols.Edge, 0, len(h))
+	for e := range h {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	for _, e := range edges {
+		// Climb edges come from adjacency ports, so they are valid and
+		// deduplicated by the map; AddEdge cannot fail here.
+		if err := hb.AddEdge(int(e.U), int(e.V)); err != nil {
+			panic("core: internal error: " + err.Error())
+		}
+	}
+	return hb.Build()
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable1Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb, QuickConfigs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "[Elk05]", "New (this repo)", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "stretch verified: false") {
+		t.Error("Table 1 reports a stretch violation")
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb, QuickConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"[EP01]", "[TZ06]", "[Pet09]", "[ABP17]", "[DGP07]", "[DGPV08]",
+		"[DGPV09]", "[Elk05]", "[EZ06]", "[Pet10]", "[EN17]",
+		"New (this repo)", "EN17 (this repo)", "EP01 (this repo)", "BaswanaSen",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "New=true EN17=true EP01=true BS=true") {
+		t.Errorf("Table 2 stretch checks not all true:\n%s", out)
+	}
+}
+
+func TestFiguresAllPass(t *testing.T) {
+	var sb strings.Builder
+	if err := Figures(&sb, DefaultFigureConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "[FAIL]") {
+		t.Errorf("figure experiment failed:\n%s", out)
+	}
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figures 7 and 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q section", want)
+		}
+	}
+}
+
+func TestClaimsRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Claims(&sb, QuickConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Radius growth", "Cluster decay", "Round budget", "Spanner size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("claims output missing %q", want)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var sb strings.Builder
+	if err := AblationA1(&sb, QuickConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationA4(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ruling set (New)") {
+		t.Error("A1 missing mechanism rows")
+	}
+	// A4 must demonstrate both findings: the deg+1 rule is clean, the
+	// newly-learned rule breaks Lemma A.1, and the paper's literal
+	// deg-budget rule breaks Theorem 2.1(2) on some workloads.
+	counts := func(marker string) (int, int) {
+		for _, l := range strings.Split(out, "\n") {
+			if !strings.Contains(l, marker) {
+				continue
+			}
+			var nums []int
+			for _, f := range strings.Fields(l) {
+				if v, err := strconv.Atoi(f); err == nil {
+					nums = append(nums, v)
+				}
+			}
+			if len(nums) >= 2 {
+				return nums[len(nums)-2], nums[len(nums)-1]
+			}
+		}
+		t.Fatalf("A4 row %q not found:\n%s", marker, out)
+		return 0, 0
+	}
+	if d, e := counts("budget deg+1"); d != 0 || e != 0 {
+		t.Errorf("deg+1 rule shows violations (%d, %d)", d, e)
+	}
+	if d, _ := counts("only newly-learned"); d == 0 {
+		t.Error("newly-learned rule shows no Lemma A.1 deficits — finding 1 should reproduce")
+	}
+	if _, e := counts("budget deg (paper)"); e == 0 {
+		t.Error("paper budget rule shows no Thm 2.1(2) violations — finding 2 should reproduce")
+	}
+}
+
+func TestAnalyticFormulasSane(t *testing.T) {
+	// The paper's qualitative ordering at moderate parameters:
+	// beta_EP01 <= beta_EN17 <= beta_New (the derandomization cost), and
+	// Elk05's rounds are super-linear while New's are sublinear for
+	// large n.
+	eps, kappa, rho := 0.1, 4, 0.45
+	bEP := BetaEP01(eps, kappa)
+	bEN := BetaEN17(eps, kappa, rho)
+	bNew := BetaNew(eps, kappa, rho)
+	if !(bEP <= bEN && bEN <= bNew) {
+		t.Errorf("beta ordering violated: EP=%g EN=%g New=%g", bEP, bEN, bNew)
+	}
+	n := 1 << 20
+	if RoundsElk05(n, kappa) <= float64(n) {
+		t.Error("Elk05 rounds should be super-linear")
+	}
+	// The headline shape: New's rounds are sublinear in n and Elk05's
+	// super-linear, so their ratio is monotone decreasing and crosses 1.
+	r1 := RoundsNew(eps, kappa, rho, 1<<16) / RoundsElk05(1<<16, kappa)
+	r2 := RoundsNew(eps, kappa, rho, 1<<24) / RoundsElk05(1<<24, kappa)
+	if r2 >= r1 {
+		t.Errorf("round ratio not decreasing: %g -> %g", r1, r2)
+	}
+	nStar := CrossoverN(eps, kappa, rho)
+	if nStar <= 0 {
+		t.Fatal("no crossover computed")
+	}
+	if RoundsNew(eps, kappa, rho, 4*nStar) >= RoundsElk05(4*nStar, kappa) {
+		t.Errorf("New should beat Elk05 beyond the crossover n*=%d", nStar)
+	}
+}
+
+func TestQuickSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke test skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := Suite(&sb, QuickConfigs()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "[FAIL]") {
+		t.Error("suite contains failures")
+	}
+}

@@ -1,0 +1,398 @@
+// Package gen generates the synthetic graph workloads used by the
+// experiments. The paper proves worst-case bounds over all unweighted
+// undirected graphs; the experiment suite samples structured families
+// (grids, tori, bounded-degree random graphs, trees, community graphs)
+// that stress different parts of the construction: diameter (number of
+// interconnection hops), density (popularity detection), and cluster
+// structure (superclustering depth).
+//
+// Every generator is deterministic given its seed.
+package gen
+
+import (
+	"fmt"
+
+	"nearspan/internal/graph"
+	"nearspan/internal/rng"
+)
+
+// Path returns the path graph on n vertices: 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(b, i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices (n >= 3 for a proper cycle;
+// smaller n degrades to a path).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(b, i, i+1)
+	}
+	if n >= 3 {
+		mustAdd(b, n-1, 0)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: vertex 0 adjacent to all others.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, 0, i)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustAdd(b, i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 2D grid graph. Vertex (r, c) has ID r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(b, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(b, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows×cols 2D torus (grid with wraparound). Requires
+// rows, cols >= 3 to stay simple; smaller dimensions fall back to Grid.
+func Torus(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		return Grid(rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			mustAdd(b, id(r, c), id(r, (c+1)%cols))
+			mustAdd(b, id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				mustAdd(b, v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBinaryTree returns a complete binary tree on n vertices with
+// root 0 (children of v are 2v+1, 2v+2).
+func CompleteBinaryTree(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		mustAdd(b, v, (v-1)/2)
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform labeled random tree on n vertices built
+// from a random Prüfer-like attachment: vertex i (i >= 1) attaches to a
+// uniform vertex in [0, i).
+func RandomTree(n int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		mustAdd(b, v, r.Intn(v))
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph. If ensureConnected is true, a
+// random spanning tree is added first so the result is connected (the
+// spanner algorithms are defined per component; connected inputs make
+// stretch verification simpler).
+func GNP(n int, p float64, seed uint64, ensureConnected bool) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	if ensureConnected {
+		for v := 1; v < n; v++ {
+			mustAdd(b, v, r.Intn(v))
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if b.HasEdge(u, v) {
+				continue
+			}
+			if r.Float64() < p {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a (near-)d-regular graph on n vertices via the
+// pairing model with retry: d*n must be even. Pairings that would create
+// loops or duplicate edges are re-drawn; after a bounded number of global
+// retries the last partial matching is returned with the few conflicting
+// stubs dropped, giving degrees in {d-1, d} — adequate for workload
+// purposes and always terminating.
+func RandomRegular(n, d int, seed uint64) (*graph.Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("gen: RandomRegular degree %d >= n %d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RandomRegular n*d must be even (n=%d d=%d)", n, d)
+	}
+	r := rng.New(seed)
+	const maxAttempts = 50
+	var best *graph.Builder
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b := graph.NewBuilder(n)
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || b.HasEdge(u, v) {
+				ok = false
+				continue // drop conflicting stub pair
+			}
+			mustAdd(b, u, v)
+		}
+		if ok {
+			return b.Build(), nil
+		}
+		best = b
+	}
+	return best.Build(), nil
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: start from
+// a clique on m+1 vertices; each new vertex attaches to m distinct
+// existing vertices chosen proportionally to degree.
+func PreferentialAttachment(n, m int, seed uint64) (*graph.Graph, error) {
+	if m < 1 || m+1 > n {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs 1 <= m < n (n=%d m=%d)", n, m)
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	// endpoint multiset: each edge contributes both endpoints, so sampling
+	// uniformly from it is degree-proportional sampling.
+	endpoints := make([]int, 0, 2*m*n)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			mustAdd(b, u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		// Collect targets in draw order (not map order) so the endpoint
+		// multiset — and therefore every later draw — is deterministic.
+		chosen := make([]int, 0, m)
+		for len(chosen) < m {
+			u := endpoints[r.Intn(len(endpoints))]
+			if u == v || containsInt(chosen, u) {
+				continue
+			}
+			chosen = append(chosen, u)
+		}
+		for _, u := range chosen {
+			mustAdd(b, v, u)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Caterpillar returns a path of length spineLen with legsPerSpine leaf
+// vertices attached to each spine vertex. Spine IDs come first.
+func Caterpillar(spineLen, legsPerSpine int) *graph.Graph {
+	n := spineLen * (1 + legsPerSpine)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < spineLen; i++ {
+		mustAdd(b, i, i+1)
+	}
+	next := spineLen
+	for i := 0; i < spineLen; i++ {
+		for l := 0; l < legsPerSpine; l++ {
+			mustAdd(b, i, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// Lollipop returns a clique on cliqueN vertices joined to a path of
+// pathN vertices; the classic high-mixing-time shape. Clique IDs first.
+func Lollipop(cliqueN, pathN int) *graph.Graph {
+	n := cliqueN + pathN
+	b := graph.NewBuilder(n)
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			mustAdd(b, u, v)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathN; i++ {
+		mustAdd(b, prev, cliqueN+i)
+		prev = cliqueN + i
+	}
+	return b.Build()
+}
+
+// Dumbbell returns two cliques of size cliqueN joined by a path of
+// bridgeLen intermediate vertices.
+func Dumbbell(cliqueN, bridgeLen int) *graph.Graph {
+	n := 2*cliqueN + bridgeLen
+	b := graph.NewBuilder(n)
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			mustAdd(b, u, v)
+			mustAdd(b, cliqueN+u, cliqueN+v)
+		}
+	}
+	prev := 0
+	for i := 0; i < bridgeLen; i++ {
+		mustAdd(b, prev, 2*cliqueN+i)
+		prev = 2*cliqueN + i
+	}
+	mustAdd(b, prev, cliqueN)
+	return b.Build()
+}
+
+// Communities returns a planted-partition graph: k communities of size
+// commSize, intra-community edge probability pIn, inter-community
+// probability pOut, plus a spanning tree inside each community and one
+// bridge edge between consecutive communities to guarantee connectivity.
+func Communities(k, commSize int, pIn, pOut float64, seed uint64) *graph.Graph {
+	n := k * commSize
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	comm := func(v int) int { return v / commSize }
+	// Connectivity backbone.
+	for v := 0; v < n; v++ {
+		if v%commSize != 0 {
+			base := comm(v) * commSize
+			mustAdd(b, v, base+r.Intn(v%commSize))
+		}
+	}
+	for c := 1; c < k; c++ {
+		mustAdd(b, (c-1)*commSize, c*commSize)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if b.HasEdge(u, v) {
+				continue
+			}
+			p := pOut
+			if comm(u) == comm(v) {
+				p = pIn
+			}
+			if r.Float64() < p {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomGeometric returns a random geometric graph: n points placed
+// uniformly in the unit square, vertices within Euclidean distance
+// radius connected. If ensureConnected is true, each vertex i >= 1 also
+// links to its nearest earlier point, so the result is connected (the
+// standard fix for sensor-network workloads). Vertex IDs are sorted by
+// x-coordinate, which keeps IDs spatially correlated — the adversarial
+// case for ID-based symmetry breaking.
+func RandomGeometric(n int, radius float64, seed uint64, ensureConnected bool) *graph.Graph {
+	r := rng.New(seed)
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	// Sort by x for spatially-correlated IDs (insertion sort keeps the
+	// generator dependency-free and deterministic).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && pts[j].x < pts[j-1].x; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	dist2 := func(a, c pt) float64 {
+		dx, dy := a.x-c.x, a.y-c.y
+		return dx*dx + dy*dy
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[j].x-pts[i].x > radius {
+				break // sorted by x: no farther j qualifies
+			}
+			if dist2(pts[i], pts[j]) <= r2 {
+				mustAdd(b, i, j)
+			}
+		}
+	}
+	if ensureConnected {
+		for i := 1; i < n; i++ {
+			best, bestD := -1, 0.0
+			for j := 0; j < i; j++ {
+				d := dist2(pts[i], pts[j])
+				if best < 0 || d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best >= 0 && !b.HasEdge(i, best) {
+				mustAdd(b, i, best)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// mustAdd panics on builder errors. Generators construct edges they have
+// just proven valid (in-range, non-duplicate), so an error here is a bug
+// in the generator itself, not a runtime condition.
+func mustAdd(b *graph.Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic("gen: internal error: " + err.Error())
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+// Infinity is the distance reported for unreachable vertices.
+const Infinity = int32(1<<31 - 1)
+
+// BFS computes single-source shortest-path distances from src. Unreachable
+// vertices get Infinity.
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	queue := make([]int32, 0, g.n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Infinity {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSBounded computes distances from src, exploring only up to depth
+// maxDepth; vertices farther than maxDepth get Infinity.
+func (g *Graph) BFSBounded(src int, maxDepth int32) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	queue := make([]int32, 0)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		if dv == maxDepth {
+			continue
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Infinity {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiBFS computes, for every vertex, the distance to the nearest source
+// and that source's identity. Ties are broken toward the smallest source
+// ID, and within a source toward the smallest parent ID, matching the
+// deterministic adoption rule used by the distributed BFS-forest protocol,
+// so this function doubles as its oracle.
+//
+// A negative maxDepth means unbounded.
+//
+// Returned slices: dist[v], root[v] (-1 if unreachable), parent[v] (-1 for
+// sources and unreachable vertices).
+func (g *Graph) MultiBFS(sources []int, maxDepth int32) (dist []int32, root, parent []int32) {
+	dist = make([]int32, g.n)
+	root = make([]int32, g.n)
+	parent = make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Infinity
+		root[i] = -1
+		parent[i] = -1
+	}
+	// Seed in ascending source-ID order so that the first adopter wins
+	// ties by smallest root ID.
+	srcs := append([]int(nil), sources...)
+	sortInts(srcs)
+	queue := make([]int32, 0, len(srcs))
+	for _, s := range srcs {
+		if dist[s] == 0 && root[s] >= 0 {
+			continue // duplicate source
+		}
+		dist[s] = 0
+		root[s] = int32(s)
+		queue = append(queue, int32(s))
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		if dv == maxDepth && maxDepth >= 0 {
+			continue
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Infinity {
+				dist[w] = dv + 1
+				root[w] = root[v]
+				parent[w] = v
+				queue = append(queue, w)
+			} else if dist[w] == dv+1 {
+				// Same layer: prefer smaller root, then smaller parent.
+				if root[v] < root[w] || (root[v] == root[w] && v < parent[w]) {
+					root[w] = root[v]
+					parent[w] = v
+				}
+			}
+		}
+	}
+	return dist, root, parent
+}
+
+// Distance returns the exact distance between u and v (Infinity if
+// disconnected). It runs one BFS; use AllPairs for repeated queries on
+// small graphs.
+func (g *Graph) Distance(u, v int) int32 {
+	return g.BFS(u)[v]
+}
+
+// AllPairs returns the full n×n distance matrix via n BFS runs. Intended
+// for verification on small graphs (quadratic memory).
+func (g *Graph) AllPairs() [][]int32 {
+	d := make([][]int32, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.BFS(v)
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == Infinity {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum finite distance from v, or Infinity if
+// some vertex is unreachable from v.
+func (g *Graph) Eccentricity(v int) int32 {
+	dist := g.BFS(v)
+	ecc := int32(0)
+	for _, d := range dist {
+		if d == Infinity {
+			return Infinity
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter via n BFS runs (Infinity if
+// disconnected). Quadratic; for verification-scale graphs.
+func (g *Graph) Diameter() int32 {
+	diam := int32(0)
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e == Infinity {
+			return Infinity
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// ComponentCount returns the number of connected components.
+func (g *Graph) ComponentCount() int {
+	seen := make([]bool, g.n)
+	count := 0
+	queue := make([]int32, 0)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(int(v)) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// BallSize returns |Γ^r(v)|: the number of vertices within distance r of
+// v, including v itself.
+func (g *Graph) BallSize(v int, r int32) int {
+	dist := g.BFSBounded(v, r)
+	count := 0
+	for _, d := range dist {
+		if d <= r {
+			count++
+		}
+	}
+	return count
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: source lists are small; avoids pulling in sort for
+	// a hot internal helper... but clarity wins: delegate for larger n.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

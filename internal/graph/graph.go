@@ -1,0 +1,203 @@
+// Package graph provides the unweighted undirected graph substrate used by
+// every algorithm in this repository: a mutable edge-list builder, an
+// immutable CSR (compressed sparse row) view for fast traversal, BFS-based
+// exact distance computation, and structural queries (connectivity,
+// diameter, degeneracy).
+//
+// Vertices are identified by integers 0..n-1, matching the paper's
+// assumption that IDs lie in [n]. Graphs are simple: self-loops and
+// parallel edges are rejected by the builder.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. The zero
+// value is unusable; construct with NewBuilder.
+type Builder struct {
+	n     int
+	edges [][2]int32
+	seen  map[[2]int32]bool
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: n, seen: make(map[[2]int32]bool)}
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error if the
+// edge is a self-loop, out of range, or already present.
+func (b *Builder) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	key := normEdge(int32(u), int32(v))
+	if b.seen[key] {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, key)
+	return nil
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n || u == v {
+		return false
+	}
+	return b.seen[normEdge(int32(u), int32(v))]
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the builder into an immutable Graph. The builder remains
+// usable afterwards (Build copies).
+func (b *Builder) Build() *Graph {
+	return fromEdges(b.n, b.edges)
+}
+
+func normEdge(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// Graph is an immutable simple undirected graph in CSR form.
+type Graph struct {
+	n      int
+	m      int
+	offs   []int32 // len n+1; adj[offs[v]:offs[v+1]] are v's neighbors
+	adj    []int32 // sorted within each vertex's slice
+	degMax int
+}
+
+// fromEdges builds the CSR arrays from a deduplicated edge list.
+func fromEdges(n int, edges [][2]int32) *Graph {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + deg[v]
+	}
+	adj := make([]int32, 2*len(edges))
+	fill := make([]int32, n)
+	copy(fill, offs[:n])
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		adj[fill[u]] = v
+		fill[u]++
+		adj[fill[v]] = u
+		fill[v]++
+	}
+	degMax := 0
+	for v := 0; v < n; v++ {
+		lo, hi := offs[v], offs[v+1]
+		s := adj[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		if d := int(hi - lo); d > degMax {
+			degMax = d
+		}
+	}
+	return &Graph{n: n, m: len(edges), offs: offs, adj: adj, degMax: degMax}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offs[v+1] - g.offs[v])
+}
+
+// MaxDegree returns the maximum degree over all vertices.
+func (g *Graph) MaxDegree() int { return g.degMax }
+
+// Neighbors returns v's neighbor slice, sorted ascending. The caller must
+// not modify it; copy first if mutation is needed (see the style guide's
+// "copy slices at boundaries" — this accessor is documented read-only and
+// is on every hot path, so it intentionally exposes the backing array).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offs[v]:g.offs[v+1]]
+}
+
+// Neighbor returns v's port-th neighbor (ports index the sorted adjacency
+// list; this is the "port numbering" used by the CONGEST simulator).
+func (g *Graph) Neighbor(v, port int) int {
+	return int(g.adj[int(g.offs[v])+port])
+}
+
+// PortOf returns the port p such that Neighbor(v, p) == u, or -1 if u is
+// not adjacent to v.
+func (g *Graph) PortOf(v, u int) int {
+	s := g.Neighbors(v)
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s[mid]) < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && int(s[lo]) == u {
+		return lo
+	}
+	return -1
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	return g.PortOf(u, v) >= 0
+}
+
+// Edges calls fn once per undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as (u, v) pairs with u < v, in vertex order.
+func (g *Graph) EdgeList() [][2]int32 {
+	out := make([][2]int32, 0, g.m)
+	g.Edges(func(u, v int) { out = append(out, [2]int32{int32(u), int32(v)}) })
+	return out
+}
+
+// Subgraph reports whether h's edge set is a subset of g's and they have
+// the same vertex count.
+func Subgraph(h, g *Graph) bool {
+	if h.N() != g.N() {
+		return false
+	}
+	ok := true
+	h.Edges(func(u, v int) {
+		if !g.HasEdge(u, v) {
+			ok = false
+		}
+	})
+	return ok
+}

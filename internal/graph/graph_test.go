@@ -1,0 +1,335 @@
+package graph
+
+import (
+	"testing"
+)
+
+// mustBuild constructs a graph from an edge list, failing the test on error.
+func mustBuild(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", e[0], e[1], err)
+		}
+	}
+	return b.Build()
+}
+
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	for _, e := range [][2]int{{-1, 0}, {0, 3}, {3, 0}, {0, -1}} {
+		if err := b.AddEdge(e[0], e[1]); err == nil {
+			t.Errorf("edge %v accepted", e)
+		}
+	}
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge (reversed) accepted")
+	}
+	if err := b.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestBuilderHasEdge(t *testing.T) {
+	b := NewBuilder(4)
+	_ = b.AddEdge(2, 3)
+	if !b.HasEdge(3, 2) || !b.HasEdge(2, 3) {
+		t.Error("HasEdge missed added edge")
+	}
+	if b.HasEdge(0, 1) {
+		t.Error("HasEdge reported absent edge")
+	}
+	if b.HasEdge(2, 2) || b.HasEdge(-1, 0) {
+		t.Error("HasEdge accepted invalid query")
+	}
+}
+
+func TestCSRStructure(t *testing.T) {
+	g := mustBuild(t, 5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {0, 4}})
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d, want 5 5", g.N(), g.M())
+	}
+	wantDeg := []int{3, 2, 2, 1, 2}
+	for v, want := range wantDeg {
+		if g.Degree(v) != want {
+			t.Errorf("Degree(%d)=%d, want %d", v, g.Degree(v), want)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree=%d, want 3", g.MaxDegree())
+	}
+	// Neighbors are sorted.
+	nb := g.Neighbors(0)
+	want := []int32{1, 2, 4}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(0)=%v, want %v", nb, want)
+		}
+	}
+}
+
+func TestPortNumbering(t *testing.T) {
+	g := mustBuild(t, 4, [][2]int{{1, 0}, {1, 2}, {1, 3}})
+	for port := 0; port < g.Degree(1); port++ {
+		u := g.Neighbor(1, port)
+		if g.PortOf(1, u) != port {
+			t.Errorf("PortOf(1,%d)=%d, want %d", u, g.PortOf(1, u), port)
+		}
+	}
+	if g.PortOf(1, 1) != -1 {
+		t.Error("PortOf to self should be -1")
+	}
+	if g.PortOf(0, 2) != -1 {
+		t.Error("PortOf to non-neighbor should be -1")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := mustBuild(t, 4, [][2]int{{0, 1}, {2, 3}})
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {2, 3, true},
+		{0, 2, false}, {1, 3, false}, {0, 0, false}, {-1, 2, false}, {0, 4, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d)=%v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	in := [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}}
+	g := mustBuild(t, 5, in)
+	got := g.EdgeList()
+	if len(got) != len(in) {
+		t.Fatalf("EdgeList has %d edges, want %d", len(got), len(in))
+	}
+	for _, e := range got {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not normalized u<v", e)
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(t, 6)
+	dist := g.BFS(0)
+	for v := 0; v < 6; v++ {
+		if dist[v] != int32(v) {
+			t.Errorf("dist[%d]=%d, want %d", v, dist[v], v)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := mustBuild(t, 4, [][2]int{{0, 1}})
+	dist := g.BFS(0)
+	if dist[2] != Infinity || dist[3] != Infinity {
+		t.Errorf("unreachable distances: %v", dist)
+	}
+}
+
+func TestBFSBounded(t *testing.T) {
+	g := pathGraph(t, 10)
+	dist := g.BFSBounded(0, 3)
+	for v := 0; v < 10; v++ {
+		want := Infinity
+		if v <= 3 {
+			want = int32(v)
+		}
+		if dist[v] != want {
+			t.Errorf("bounded dist[%d]=%d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestMultiBFSMatchesPerSourceBFS(t *testing.T) {
+	g := mustBuild(t, 8, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}, {1, 5},
+	})
+	sources := []int{0, 4}
+	dist, root, parent := g.MultiBFS(sources, -1)
+	d0, d4 := g.BFS(0), g.BFS(4)
+	for v := 0; v < 8; v++ {
+		want := d0[v]
+		if d4[v] < want {
+			want = d4[v]
+		}
+		if dist[v] != want {
+			t.Errorf("MultiBFS dist[%d]=%d, want %d", v, dist[v], want)
+		}
+		// Root must achieve the min distance; ties go to the smaller ID.
+		if d0[v] == d4[v] {
+			if root[v] != 0 {
+				t.Errorf("tie at %d should resolve to root 0, got %d", v, root[v])
+			}
+		}
+		if v != int(root[v]) && parent[v] >= 0 {
+			if dist[parent[v]] != dist[v]-1 {
+				t.Errorf("parent[%d]=%d not one layer up", v, parent[v])
+			}
+		}
+	}
+}
+
+func TestMultiBFSDepthBound(t *testing.T) {
+	g := pathGraph(t, 10)
+	dist, root, _ := g.MultiBFS([]int{0}, 4)
+	for v := 0; v < 10; v++ {
+		if v <= 4 {
+			if dist[v] != int32(v) || root[v] != 0 {
+				t.Errorf("v=%d: dist=%d root=%d", v, dist[v], root[v])
+			}
+		} else if dist[v] != Infinity || root[v] != -1 {
+			t.Errorf("v=%d beyond depth: dist=%d root=%d", v, dist[v], root[v])
+		}
+	}
+}
+
+func TestMultiBFSDuplicateSources(t *testing.T) {
+	g := pathGraph(t, 4)
+	dist, root, _ := g.MultiBFS([]int{2, 2}, -1)
+	if dist[2] != 0 || root[2] != 2 {
+		t.Errorf("duplicate sources mishandled: dist=%v root=%v", dist, root)
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	conn := pathGraph(t, 5)
+	if !conn.Connected() || conn.ComponentCount() != 1 {
+		t.Error("path graph should be connected")
+	}
+	disc := mustBuild(t, 5, [][2]int{{0, 1}, {2, 3}})
+	if disc.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if got := disc.ComponentCount(); got != 3 {
+		t.Errorf("ComponentCount=%d, want 3", got)
+	}
+	empty := NewBuilder(0).Build()
+	if !empty.Connected() {
+		t.Error("empty graph should be connected")
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := pathGraph(t, 7)
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("Diameter=%d, want 6", d)
+	}
+	if e := g.Eccentricity(3); e != 3 {
+		t.Errorf("Eccentricity(3)=%d, want 3", e)
+	}
+	disc := mustBuild(t, 3, [][2]int{{0, 1}})
+	if disc.Diameter() != Infinity {
+		t.Error("disconnected diameter should be Infinity")
+	}
+}
+
+func TestAllPairsSymmetric(t *testing.T) {
+	g := mustBuild(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {4, 5}})
+	d := g.AllPairs()
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			if d[u][v] != d[v][u] {
+				t.Errorf("asymmetric distance d[%d][%d]=%d d[%d][%d]=%d",
+					u, v, d[u][v], v, u, d[v][u])
+			}
+			if u == v && d[u][v] != 0 {
+				t.Errorf("d[%d][%d]=%d, want 0", u, v, d[u][v])
+			}
+		}
+	}
+	// Triangle inequality.
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			for w := 0; w < 6; w++ {
+				if d[u][v] > d[u][w]+d[w][v] {
+					t.Errorf("triangle violation %d-%d-%d", u, w, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBallSize(t *testing.T) {
+	g := pathGraph(t, 9)
+	if got := g.BallSize(4, 2); got != 5 {
+		t.Errorf("BallSize(4,2)=%d, want 5", got)
+	}
+	if got := g.BallSize(0, 0); got != 1 {
+		t.Errorf("BallSize(0,0)=%d, want 1", got)
+	}
+	if got := g.BallSize(0, 100); got != 9 {
+		t.Errorf("BallSize(0,100)=%d, want 9", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustBuild(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	h := mustBuild(t, 4, [][2]int{{0, 1}, {2, 3}})
+	if !Subgraph(h, g) {
+		t.Error("h should be a subgraph of g")
+	}
+	if Subgraph(g, h) {
+		t.Error("g is not a subgraph of h")
+	}
+	other := mustBuild(t, 5, nil)
+	if Subgraph(other, g) {
+		t.Error("different vertex counts should not be subgraphs")
+	}
+}
+
+func TestBuilderReusableAfterBuild(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	g1 := b.Build()
+	_ = b.AddEdge(1, 2)
+	g2 := b.Build()
+	if g1.M() != 1 || g2.M() != 2 {
+		t.Errorf("builds share state: m1=%d m2=%d", g1.M(), g2.M())
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	g0 := NewBuilder(0).Build()
+	if g0.N() != 0 || g0.M() != 0 {
+		t.Error("empty graph malformed")
+	}
+	g1 := NewBuilder(1).Build()
+	if d := g1.BFS(0); d[0] != 0 {
+		t.Error("singleton BFS wrong")
+	}
+	if g1.Diameter() != 0 {
+		t.Error("singleton diameter should be 0")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in the standard whitespace-separated
+// edge-list format: a header line "n m", then one "u v" line per edge
+// with u < v. The format round-trips through ReadEdgeList.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.n, g.m); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format written by WriteEdgeList.
+// Lines starting with '#' and blank lines are ignored; the first
+// non-comment line must be the "n m" header. Duplicate edges, self
+// loops, and out-of-range endpoints are rejected with the offending
+// line number.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	var b *Builder
+	wantEdges := -1
+	edges := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want two integers, got %q", lineNo, line)
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		c, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if b == nil {
+			if a < 0 || c < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header values", lineNo)
+			}
+			b = NewBuilder(a)
+			wantEdges = c
+			continue
+		}
+		if err := b.AddEdge(a, c); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if wantEdges >= 0 && edges != wantEdges {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", wantEdges, edges)
+	}
+	return b.Build(), nil
+}

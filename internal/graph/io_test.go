@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := mustBuild(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}})
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	g.Edges(func(u, v int) {
+		if !back.HasEdge(u, v) {
+			t.Errorf("edge %d-%d lost", u, v)
+		}
+	})
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a graph\n\n3 2\n# edges follow\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"three fields", "3 1\n0 1 2\n"},
+		{"self loop", "3 1\n1 1\n"},
+		{"out of range", "3 1\n0 7\n"},
+		{"duplicate", "3 2\n0 1\n1 0\n"},
+		{"edge count mismatch", "3 5\n0 1\n"},
+		{"negative header", "-1 0\n"},
+		{"non-integer edge", "3 1\n0 z\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestWriteEdgeListEmptyGraph(t *testing.T) {
+	g := NewBuilder(4).Build()
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 0 {
+		t.Errorf("n=%d m=%d", back.N(), back.M())
+	}
+}

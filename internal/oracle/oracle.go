@@ -1,0 +1,157 @@
+// Package oracle layers an approximate distance oracle over a
+// near-additive spanner — the application that motivated near-additive
+// spanners in the first place (almost-shortest-paths computation,
+// [Elk01/Elk05], and distance oracles [TZ01/RTZ05] in the paper's
+// citations).
+//
+// The oracle precomputes the spanner once and answers distance queries
+// with BFS over H instead of G. Because H has O(β·n^{1+1/κ}) edges, a
+// query costs O(|E_H|) instead of O(|E_G|) — on dense graphs an
+// order-of-magnitude less traversal work — while every answer carries
+// the paper's guarantee
+//
+//	d_G(u,v) <= Dist(u,v) <= (1+ε)·d_G(u,v) + β.
+//
+// For repeated queries from the same source the oracle caches BFS
+// levels; Sources/Pairs batch APIs expose that reuse.
+package oracle
+
+import (
+	"fmt"
+
+	"nearspan/internal/core"
+	"nearspan/internal/graph"
+	"nearspan/internal/params"
+)
+
+// Oracle answers approximate distance queries over a preprocessed graph.
+// Not safe for concurrent use (the level cache is shared); clone one
+// oracle per goroutine via Clone.
+type Oracle struct {
+	g       *graph.Graph
+	spanner *graph.Graph
+	p       *params.Params
+
+	cache    map[int][]int32 // BFS levels in the spanner, by source
+	capacity int
+	order    []int // FIFO eviction order
+}
+
+// Options configure the oracle.
+type Options struct {
+	// Eps, Kappa, Rho are the spanner parameters (see params.New).
+	Eps   float64
+	Kappa int
+	Rho   float64
+	// CacheSources bounds the per-source BFS cache (default 16).
+	CacheSources int
+}
+
+// New preprocesses g into an oracle.
+func New(g *graph.Graph, opts Options) (*Oracle, error) {
+	p, err := params.New(opts.Eps, opts.Kappa, opts.Rho, g.N())
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Build(g, p, core.Options{Mode: core.ModeCentralized})
+	if err != nil {
+		return nil, err
+	}
+	capacity := opts.CacheSources
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Oracle{
+		g:        g,
+		spanner:  res.Spanner,
+		p:        p,
+		cache:    make(map[int][]int32, capacity),
+		capacity: capacity,
+	}, nil
+}
+
+// FromSpanner wraps an already-built spanner (e.g. from a distributed
+// run) in an oracle.
+func FromSpanner(g *graph.Graph, res *core.Result, cacheSources int) (*Oracle, error) {
+	if res.Spanner.N() != g.N() {
+		return nil, fmt.Errorf("oracle: spanner for n=%d, graph n=%d", res.Spanner.N(), g.N())
+	}
+	if cacheSources <= 0 {
+		cacheSources = 16
+	}
+	return &Oracle{
+		g:        g,
+		spanner:  res.Spanner,
+		p:        res.Params,
+		cache:    make(map[int][]int32, cacheSources),
+		capacity: cacheSources,
+	}, nil
+}
+
+// Spanner returns the underlying spanner.
+func (o *Oracle) Spanner() *graph.Graph { return o.spanner }
+
+// Guarantee returns the oracle's error bound (alpha, beta):
+// answers satisfy d_G <= answer <= alpha*d_G + beta.
+func (o *Oracle) Guarantee() (alpha float64, beta int32) {
+	return 1 + o.p.EpsPrime(), o.p.BetaInt()
+}
+
+// EdgeSavings returns |E_G| - |E_H|, the per-query traversal saving.
+func (o *Oracle) EdgeSavings() int { return o.g.M() - o.spanner.M() }
+
+// Dist returns the approximate distance from u to v
+// (graph.Infinity if disconnected).
+func (o *Oracle) Dist(u, v int) int32 {
+	return o.levels(u)[v]
+}
+
+// Sources returns the approximate distances from u to every vertex. The
+// returned slice is owned by the cache; callers must not modify it.
+func (o *Oracle) Sources(u int) []int32 {
+	return o.levels(u)
+}
+
+// Pairs answers a batch of queries, reusing per-source BFS work. The
+// batch is grouped by source internally, so callers need not sort.
+func (o *Oracle) Pairs(queries [][2]int) []int32 {
+	out := make([]int32, len(queries))
+	bySource := make(map[int][]int)
+	for i, q := range queries {
+		bySource[q[0]] = append(bySource[q[0]], i)
+	}
+	for src, idxs := range bySource {
+		lv := o.levels(src)
+		for _, i := range idxs {
+			out[i] = lv[queries[i][1]]
+		}
+	}
+	return out
+}
+
+// Clone returns an oracle sharing the immutable spanner but with its own
+// cache, for concurrent use.
+func (o *Oracle) Clone() *Oracle {
+	return &Oracle{
+		g:        o.g,
+		spanner:  o.spanner,
+		p:        o.p,
+		cache:    make(map[int][]int32, o.capacity),
+		capacity: o.capacity,
+	}
+}
+
+func (o *Oracle) levels(u int) []int32 {
+	if lv, ok := o.cache[u]; ok {
+		return lv
+	}
+	lv := o.spanner.BFS(u)
+	if len(o.order) >= o.capacity {
+		evict := o.order[0]
+		o.order = o.order[1:]
+		delete(o.cache, evict)
+	}
+	o.cache[u] = lv
+	o.order = append(o.order, u)
+	return lv
+}

@@ -1,0 +1,150 @@
+package protocols
+
+import (
+	"sort"
+
+	"nearspan/internal/congest"
+)
+
+// Climb traces paths through per-vertex routing pointers and records the
+// edges traversed; the recorded edges are what the spanner construction
+// adds to H.
+//
+// Each trace is identified by a key. A vertex that participates in a
+// trace for key k looks up its outgoing port in Via[k] and forwards the
+// trace exactly once per key, ever — traces for the same key from
+// different initiators merge, which both bounds congestion and keeps the
+// added edge set minimal (the pointers for one key form a tree directed
+// toward the key's target, so one forwarding per vertex marks the whole
+// root path).
+//
+// Two modes cover the paper's uses:
+//
+//   - Superclustering (Fig. 4): keys are root IDs and Via holds BFS-forest
+//     parent ports; spanned cluster centers initiate, and the forest path
+//     from each spanned center to its root lands in H.
+//   - Interconnection (Fig. 5): keys are cluster-center IDs and Via holds
+//     the ports recorded by Algorithm 1; an unpopular center initiates one
+//     trace per nearby center, and a shortest path to each lands in H.
+//
+// Per round, a vertex sends at most one queued trace per port, so the
+// protocol respects bandwidth 1. It is message-driven: run with
+// RunUntilQuiet.
+type Climb struct {
+	// Via maps a key to the port toward that key's target. Missing keys
+	// terminate the trace at this vertex (roots in forest mode).
+	Via map[int64]int
+	// Start lists keys whose traces this vertex initiates.
+	Start []int64
+
+	// MarkedPorts lists the ports whose edges this vertex added to H.
+	MarkedPorts []int
+
+	forwarded map[int64]bool
+	queues    [][]int64
+}
+
+var _ congest.Program = (*Climb)(nil)
+
+// NewClimb returns a factory over per-vertex routing tables and start
+// sets. via[v] may be nil for vertices with no pointers; start[v] may be
+// nil for non-initiators.
+func NewClimb(via []map[int64]int, start [][]int64) func(v int) congest.Program {
+	return func(v int) congest.Program {
+		return &Climb{Via: via[v], Start: start[v]}
+	}
+}
+
+// ClimbMaxRounds bounds the rounds a Climb can take: every vertex
+// forwards at most keysPerVertex traces, each over a path of at most
+// pathLen hops, and per-port queuing delays each hop by at most
+// keysPerVertex rounds.
+func ClimbMaxRounds(keysPerVertex, pathLen int) int {
+	return (keysPerVertex+1)*(pathLen+1) + 2
+}
+
+// Init implements congest.Program.
+func (c *Climb) Init(env *congest.Env) {
+	c.forwarded = make(map[int64]bool, len(c.Start))
+	c.queues = make([][]int64, env.Degree())
+	// Deterministic initiation order: ascending key.
+	keys := append([]int64(nil), c.Start...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		c.accept(env, k)
+	}
+	c.pump(env)
+}
+
+// Round implements congest.Program.
+func (c *Climb) Round(env *congest.Env, recv []congest.Inbound) {
+	for _, in := range recv {
+		if in.Msg.Kind != kindClimb {
+			continue
+		}
+		c.accept(env, in.Msg.Words[0])
+	}
+	c.pump(env)
+}
+
+// accept handles participation in the trace for key k: mark the outgoing
+// edge and enqueue the forward, once per key.
+func (c *Climb) accept(env *congest.Env, k int64) {
+	if c.forwarded[k] {
+		return
+	}
+	c.forwarded[k] = true
+	if int64(env.ID()) == k {
+		return // reached the target
+	}
+	port, ok := c.Via[k]
+	if !ok {
+		return // root / no pointer: trace terminates here
+	}
+	c.MarkedPorts = append(c.MarkedPorts, port)
+	c.queues[port] = append(c.queues[port], k)
+}
+
+// pump sends one queued trace per port, then halts if nothing is pending.
+func (c *Climb) pump(env *congest.Env) {
+	pending := false
+	for p := range c.queues {
+		if len(c.queues[p]) == 0 {
+			continue
+		}
+		k := c.queues[p][0]
+		c.queues[p] = c.queues[p][1:]
+		_ = env.Send(p, congest.Message{Kind: kindClimb, Words: [congest.MessageWords]int64{k}})
+		if len(c.queues[p]) > 0 {
+			pending = true
+		}
+	}
+	if !pending {
+		env.Halt()
+	}
+}
+
+// Edge is an undirected edge, normalized U < V.
+type Edge struct{ U, V int32 }
+
+// NormEdge normalizes an edge to U < V.
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: int32(u), V: int32(v)}
+}
+
+// ExtractClimbEdges collects the union of marked edges from a finished
+// Climb simulation.
+func ExtractClimbEdges(sim *congest.Simulator) map[Edge]bool {
+	g := sim.Graph()
+	out := make(map[Edge]bool)
+	for v := 0; v < g.N(); v++ {
+		p := sim.Program(v).(*Climb)
+		for _, port := range p.MarkedPorts {
+			out[NormEdge(v, g.Neighbor(v, port))] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package protocols
+
+import (
+	"sort"
+
+	"nearspan/internal/graph"
+)
+
+// This file holds centralized counterparts of the distributed protocols.
+// They compute the same outputs directly on the graph — same deterministic
+// tie-breaking, no round machinery — and serve two purposes: oracles in
+// the protocol tests, and the building blocks of the centralized
+// reference implementation of the spanner construction (internal/core),
+// whose output must be identical to the distributed one.
+
+// CentralNearNeighbors is the phase-level simulation of Algorithm 1: it
+// reproduces the distributed NearNeighbors protocol's Known/Via/Popular
+// outputs exactly (tested), without the round machinery.
+//
+// Phase p delivers announcements that traversed p edges. Each vertex
+// selects up to deg+1 of the phase's heard centers (smallest IDs first,
+// known or not; see the forward-budget finding on NearNeighbors) as the
+// next phase's forwards, and stores first-heard centers up to deg stored
+// entries — the same rules, in the same order, as the distributed
+// protocol.
+func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) NNResult {
+	n := g.N()
+	res := NNResult{
+		Known:   make([]map[int64]int32, n),
+		Via:     make([]map[int64]int, n),
+		Popular: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Known[v] = make(map[int64]int32)
+		res.Via[v] = make(map[int64]int)
+	}
+	isCenter := make([]bool, n)
+	for _, c := range centers {
+		isCenter[c] = true
+	}
+
+	// buffer[v] holds this phase's hearings: center -> best sender.
+	buffer := make([]map[int64]hearing, n)
+	for v := range buffer {
+		buffer[v] = make(map[int64]hearing)
+	}
+	hear := func(v int, c int64, sender int) {
+		if c == int64(v) {
+			return
+		}
+		h, ok := buffer[v][c]
+		if !ok || sender < h.sender {
+			buffer[v][c] = hearing{sender: sender, port: g.PortOf(v, sender)}
+		}
+	}
+
+	// Phase 0: announcements.
+	for _, c := range centers {
+		for _, u := range g.Neighbors(c) {
+			hear(int(u), int64(c), c)
+		}
+	}
+
+	for p := int32(1); p <= delta; p++ {
+		// Process phase-p hearings (distance p), then deliver forwards.
+		type fwd struct {
+			v int
+			c int64
+		}
+		var forwards []fwd
+		for v := 0; v < n; v++ {
+			if len(buffer[v]) == 0 {
+				continue
+			}
+			ids := make([]int64, 0, len(buffer[v]))
+			for c := range buffer[v] {
+				ids = append(ids, c)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			queued := 0
+			for _, c := range ids {
+				if queued < deg+1 && p < delta {
+					forwards = append(forwards, fwd{v: v, c: c})
+					queued++
+				}
+				if _, known := res.Known[v][c]; !known && len(res.Known[v]) < deg {
+					h := buffer[v][c]
+					res.Known[v][c] = p
+					res.Via[v][c] = h.port
+				}
+			}
+			buffer[v] = make(map[int64]hearing)
+		}
+		for _, f := range forwards {
+			for _, u := range g.Neighbors(f.v) {
+				hear(int(u), f.c, f.v)
+			}
+		}
+		if len(forwards) == 0 {
+			// No waves remain: later phases hear nothing. The distributed
+			// schedule still ticks through them, but the knowledge state
+			// is final, so the simulation can stop.
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		res.Popular[v] = isCenter[v] && len(res.Known[v]) >= deg
+	}
+	return res
+}
+
+// TracePath follows Via pointers from v toward center c using the
+// NNResult routing state, returning the vertex sequence v, ..., c. It
+// reports ok=false if the pointers do not lead to c (which the
+// construction never encounters for its traced pairs; tested).
+func TracePath(g *graph.Graph, nn NNResult, v int, c int64) (path []int, ok bool) {
+	cur := v
+	path = append(path, cur)
+	for int64(cur) != c {
+		port, exists := nn.Via[cur][c]
+		if !exists || len(path) > g.N() {
+			return path, false
+		}
+		cur = g.Neighbor(cur, port)
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// CentralRulingSet runs the digit-competition ruling set centrally,
+// reproducing the distributed protocol's output exactly: same digits,
+// same window order, same kill radius q.
+func CentralRulingSet(g *graph.Graph, members []int, q int32, c int, n int) []int {
+	b := DigitBase(n, c)
+	active := make(map[int]bool, len(members))
+	for _, w := range members {
+		active[w] = true
+	}
+	for pos := c - 1; pos >= 0; pos-- {
+		for value := b - 1; value >= 0; value-- {
+			var firing []int
+			for w := range active {
+				if digit(int64(w), pos, b) == value {
+					firing = append(firing, w)
+				}
+			}
+			if len(firing) == 0 {
+				continue
+			}
+			// Kill active candidates with a smaller current digit within
+			// distance q of any firing candidate.
+			dist, _, _ := g.MultiBFS(firing, q)
+			for w := range active {
+				if dist[w] <= q && digit(int64(w), pos, b) < value {
+					delete(active, w)
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(active))
+	for w := range active {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VerifyRulingSet checks the two ruling-set guarantees and returns
+// (separationOK, dominationOK). Separation: selected vertices pairwise at
+// distance >= q+1. Domination: every member within domRadius of a
+// selected vertex.
+func VerifyRulingSet(g *graph.Graph, members, selected []int, q int32, domRadius int32) (sepOK, domOK bool) {
+	sepOK = true
+	sel := make(map[int]bool, len(selected))
+	for _, s := range selected {
+		sel[s] = true
+	}
+	for _, s := range selected {
+		dist := g.BFSBounded(s, q)
+		for v := 0; v < g.N(); v++ {
+			if v != s && sel[v] && dist[v] <= q {
+				sepOK = false
+			}
+		}
+	}
+	domOK = true
+	if len(selected) > 0 {
+		dist, _, _ := g.MultiBFS(selected, domRadius)
+		for _, w := range members {
+			if dist[w] > domRadius {
+				domOK = false
+			}
+		}
+	} else if len(members) > 0 {
+		domOK = false
+	}
+	return sepOK, domOK
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("T", "alg", "rounds", "edges")
+	tb.Add("new", "123", "4567")
+	tb.Add("baseline-with-long-name", "9", "1")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "T\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Column 2 aligned: positions of "rounds" and "123" and "9".
+	hdrPos := strings.Index(lines[1], "rounds")
+	row1Pos := strings.Index(lines[3], "123")
+	if hdrPos != row1Pos {
+		t.Errorf("misaligned columns: %d vs %d\n%s", hdrPos, row1Pos, out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1")
+	tb.Note("hello %d", 42)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "note: hello 42") {
+		t.Error("note missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.Add("plain", "1")
+	tb.Add("with,comma", "2")
+	tb.Add("with\"quote", "3")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if out != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(42) != "42" || I64(1<<40) != "1099511627776" {
+		t.Error("int formatters broken")
+	}
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Error("Ratio by zero should be -")
+	}
+	if Ratio(3, 2) != "1.50" {
+		t.Errorf("Ratio = %q", Ratio(3, 2))
+	}
+	if !strings.Contains(Sci(12345.0), "e+04") {
+		t.Errorf("Sci = %q", Sci(12345.0))
+	}
+}

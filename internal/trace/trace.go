@@ -1,0 +1,108 @@
+// Package trace renders algorithm structures as ASCII diagrams — the
+// reproduction medium for the paper's illustrative Figures 1–5. All
+// renderings target 2D grid graphs (vertex (r, c) has ID r*cols+c),
+// where cluster growth, ruling-set separation, and added paths are
+// visible at a glance.
+package trace
+
+import (
+	"strings"
+
+	"nearspan/internal/cluster"
+	"nearspan/internal/graph"
+)
+
+// GridClusters renders cluster membership: each cluster gets a letter
+// (cycling a–z), its center is uppercase, unclustered vertices are '.'.
+func GridClusters(rows, cols int, col *cluster.Collection) string {
+	letter := make(map[int]rune) // cluster index -> letter
+	next := 0
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			idx := int(col.Of[v])
+			if idx < 0 {
+				sb.WriteByte('.')
+				continue
+			}
+			ch, ok := letter[idx]
+			if !ok {
+				ch = rune('a' + next%26)
+				letter[idx] = ch
+				next++
+			}
+			if col.Clusters[idx].Center == v {
+				ch = ch - 'a' + 'A'
+			}
+			sb.WriteRune(ch)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// GridMarks renders a vertex marking: marked vertices show their rune,
+// others '.'.
+func GridMarks(rows, cols int, marks map[int]rune) string {
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			if ch, ok := marks[v]; ok {
+				sb.WriteRune(ch)
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// GridEdges renders which grid edges are present in h: vertices are 'o',
+// horizontal edges '-', vertical edges '|', absent edges spaces. This is
+// the Figure 2/4/5 view: the spanner's skeleton on the grid.
+func GridEdges(rows, cols int, h *graph.Graph) string {
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			sb.WriteByte('o')
+			if c+1 < cols {
+				if h.HasEdge(v, v+1) {
+					sb.WriteString("--")
+				} else {
+					sb.WriteString("  ")
+				}
+			}
+		}
+		sb.WriteByte('\n')
+		if r+1 < rows {
+			for c := 0; c < cols; c++ {
+				v := r*cols + c
+				if h.HasEdge(v, v+cols) {
+					sb.WriteByte('|')
+				} else {
+					sb.WriteByte(' ')
+				}
+				if c+1 < cols {
+					sb.WriteString("  ")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Legend returns a one-line legend for the cluster rendering.
+func Legend() string {
+	return "uppercase = cluster center, lowercase = member, '.' = unclustered"
+}

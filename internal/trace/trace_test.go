@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nearspan/internal/cluster"
+	"nearspan/internal/gen"
+	"nearspan/internal/graph"
+)
+
+func TestGridClusters(t *testing.T) {
+	col, err := cluster.NewCollection(6, []cluster.Cluster{
+		{Center: 0, Members: []int32{0, 1, 3}},
+		{Center: 5, Members: []int32{5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GridClusters(2, 3, col)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", out)
+	}
+	if lines[0] != "A a ." {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if lines[1] != "a . B" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestGridMarks(t *testing.T) {
+	out := GridMarks(2, 2, map[int]rune{0: 'R', 3: 'w'})
+	want := "R .\n. w\n"
+	if out != want {
+		t.Errorf("got %q want %q", out, want)
+	}
+}
+
+func TestGridEdgesFullGrid(t *testing.T) {
+	g := gen.Grid(2, 3)
+	out := GridEdges(2, 3, g)
+	want := "o--o--o\n|  |  |\no--o--o\n"
+	if out != want {
+		t.Errorf("got:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestGridEdgesPartial(t *testing.T) {
+	b := graph.NewBuilder(4) // 2x2 grid vertices, only top edge
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := b.Build()
+	out := GridEdges(2, 2, h)
+	want := "o--o\n    \no  o\n"
+	if out != want {
+		t.Errorf("got:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestLegendNonEmpty(t *testing.T) {
+	if Legend() == "" {
+		t.Error("empty legend")
+	}
+}
+
+func TestManyClustersCycleLetters(t *testing.T) {
+	n := 30
+	clusters := make([]cluster.Cluster, n)
+	for i := 0; i < n; i++ {
+		clusters[i] = cluster.Cluster{Center: i, Members: []int32{int32(i)}}
+	}
+	col, err := cluster.NewCollection(n, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GridClusters(5, 6, col)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "Z") {
+		t.Errorf("letter cycling broken:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Package verify checks spanner guarantees against ground truth: the
+// subgraph property, the (α, β) stretch bound, and distance-error
+// statistics. Exact verification runs n BFS pairs on both graphs;
+// sampled verification bounds the cost on large instances.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"nearspan/internal/graph"
+	"nearspan/internal/rng"
+)
+
+// StretchReport summarizes a stretch measurement of a spanner h against
+// its base graph g under a claimed bound d_h <= alpha*d_g + beta.
+type StretchReport struct {
+	Alpha float64
+	Beta  int32
+
+	Pairs      int64 // ordered pairs measured (u < v, connected in g)
+	Violations int64 // pairs with d_h > alpha*d_g + beta
+
+	// WorstAdditive is max over pairs of d_h - d_g (the measured purely
+	// additive error), with a witnessing pair.
+	WorstAdditive     int32
+	WorstAdditivePair [2]int
+
+	// WorstRatio is max over pairs with d_g > 0 of d_h / d_g (the
+	// measured purely multiplicative stretch), with a witnessing pair.
+	WorstRatio     float64
+	WorstRatioPair [2]int
+
+	// WorstSlack is max over pairs of d_h - (alpha*d_g) — the additive
+	// term needed for the claimed alpha; <= Beta iff no violations.
+	WorstSlack float64
+
+	// MeanRatio is the average of d_h/d_g over pairs with d_g > 0.
+	MeanRatio float64
+}
+
+// OK reports whether the claimed bound held on every measured pair.
+func (r StretchReport) OK() bool { return r.Violations == 0 }
+
+func (r StretchReport) String() string {
+	return fmt.Sprintf("pairs=%d violations=%d worst_add=%d worst_ratio=%.3f worst_slack=%.1f mean_ratio=%.4f",
+		r.Pairs, r.Violations, r.WorstAdditive, r.WorstRatio, r.WorstSlack, r.MeanRatio)
+}
+
+// Subgraph reports whether h is a subgraph of g on the same vertex set.
+func Subgraph(h, g *graph.Graph) bool { return graph.Subgraph(h, g) }
+
+// Stretch measures the (alpha, beta) bound exactly, over all connected
+// pairs, via one BFS per vertex on both graphs.
+func Stretch(g, h *graph.Graph, alpha float64, beta int32) StretchReport {
+	sources := make([]int, g.N())
+	for v := range sources {
+		sources[v] = v
+	}
+	return stretchFrom(g, h, alpha, beta, sources, true)
+}
+
+// StretchSampled measures the bound from `samples` BFS source vertices
+// chosen deterministically from seed. Each source still checks its
+// distance to every vertex, so coverage is samples*n pairs.
+func StretchSampled(g, h *graph.Graph, alpha float64, beta int32, samples int, seed uint64) StretchReport {
+	if samples >= g.N() {
+		return Stretch(g, h, alpha, beta)
+	}
+	r := rng.New(seed)
+	perm := r.Perm(g.N())
+	return stretchFrom(g, h, alpha, beta, perm[:samples], false)
+}
+
+func stretchFrom(g, h *graph.Graph, alpha float64, beta int32, sources []int, halfPairs bool) StretchReport {
+	rep := StretchReport{Alpha: alpha, Beta: beta, WorstRatio: 1}
+	var ratioSum float64
+	var ratioCount int64
+	for _, u := range sources {
+		dg := g.BFS(u)
+		dh := h.BFS(u)
+		for v := 0; v < g.N(); v++ {
+			if v == u || dg[v] == graph.Infinity {
+				continue
+			}
+			if halfPairs && v < u {
+				continue
+			}
+			rep.Pairs++
+			dgv, dhv := dg[v], dh[v]
+			if dhv == graph.Infinity {
+				// Disconnected in h: infinite violation.
+				rep.Violations++
+				rep.WorstAdditive = graph.Infinity
+				rep.WorstAdditivePair = [2]int{u, v}
+				rep.WorstSlack = math.Inf(1)
+				continue
+			}
+			add := dhv - dgv
+			if add > rep.WorstAdditive {
+				rep.WorstAdditive = add
+				rep.WorstAdditivePair = [2]int{u, v}
+			}
+			ratio := float64(dhv) / float64(dgv)
+			ratioSum += ratio
+			ratioCount++
+			if ratio > rep.WorstRatio {
+				rep.WorstRatio = ratio
+				rep.WorstRatioPair = [2]int{u, v}
+			}
+			slack := float64(dhv) - alpha*float64(dgv)
+			if slack > rep.WorstSlack {
+				rep.WorstSlack = slack
+			}
+			if float64(dhv) > alpha*float64(dgv)+float64(beta)+1e-9 {
+				rep.Violations++
+			}
+		}
+	}
+	if ratioCount > 0 {
+		rep.MeanRatio = ratioSum / float64(ratioCount)
+	}
+	return rep
+}
+
+// SizeReport relates a spanner's edge count to a claimed bound.
+type SizeReport struct {
+	Edges      int
+	GraphEdges int
+	Bound      float64 // the claimed bound (without O-constant)
+	Ratio      float64 // Edges / Bound
+}
+
+// Size evaluates |E_H| against the bound value.
+func Size(g, h *graph.Graph, bound float64) SizeReport {
+	rep := SizeReport{Edges: h.M(), GraphEdges: g.M(), Bound: bound}
+	if bound > 0 {
+		rep.Ratio = float64(h.M()) / bound
+	}
+	return rep
+}

@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"testing"
+
+	"nearspan/internal/gen"
+	"nearspan/internal/graph"
+)
+
+func TestStretchIdenticalGraphs(t *testing.T) {
+	g := gen.Grid(5, 5)
+	rep := Stretch(g, g, 1, 0)
+	if !rep.OK() {
+		t.Errorf("identical graphs violate (1,0): %v", rep)
+	}
+	if rep.WorstAdditive != 0 || rep.WorstRatio != 1 {
+		t.Errorf("identical graphs have nonzero error: %v", rep)
+	}
+	wantPairs := int64(25 * 24 / 2)
+	if rep.Pairs != wantPairs {
+		t.Errorf("Pairs=%d, want %d", rep.Pairs, wantPairs)
+	}
+}
+
+func TestStretchDetectsViolation(t *testing.T) {
+	// Cycle vs path: removing one cycle edge makes the endpoints'
+	// distance n-1 instead of 1.
+	g := gen.Cycle(10)
+	b := graph.NewBuilder(10)
+	for i := 0; i+1 < 10; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := b.Build()
+	rep := Stretch(g, h, 1, 0)
+	if rep.OK() {
+		t.Fatal("violation not detected")
+	}
+	if rep.WorstAdditive != 8 {
+		t.Errorf("WorstAdditive=%d, want 8", rep.WorstAdditive)
+	}
+	if rep.WorstRatio != 9 {
+		t.Errorf("WorstRatio=%v, want 9", rep.WorstRatio)
+	}
+	// The same pair passes with beta = 8.
+	rep8 := Stretch(g, h, 1, 8)
+	if !rep8.OK() {
+		t.Errorf("(1,8) should hold: %v", rep8)
+	}
+	// Or with alpha = 9.
+	rep9 := Stretch(g, h, 9, 0)
+	if !rep9.OK() {
+		t.Errorf("(9,0) should hold: %v", rep9)
+	}
+}
+
+func TestStretchDisconnectedSpanner(t *testing.T) {
+	g := gen.Path(4)
+	h := graph.NewBuilder(4).Build() // no edges
+	rep := Stretch(g, h, 100, 100)
+	if rep.OK() {
+		t.Error("disconnected spanner must violate")
+	}
+	if rep.WorstAdditive != graph.Infinity {
+		t.Errorf("WorstAdditive=%d, want Infinity", rep.WorstAdditive)
+	}
+}
+
+func TestStretchSampled(t *testing.T) {
+	g := gen.GNP(80, 0.1, 3, true)
+	rep := StretchSampled(g, g, 1, 0, 10, 42)
+	if !rep.OK() {
+		t.Errorf("sampled identical check failed: %v", rep)
+	}
+	if rep.Pairs == 0 || rep.Pairs > int64(10*g.N()) {
+		t.Errorf("sampled pair count %d out of range", rep.Pairs)
+	}
+	// Falls back to exact when samples >= n.
+	repAll := StretchSampled(g, g, 1, 0, 100, 42)
+	exact := Stretch(g, g, 1, 0)
+	if repAll.Pairs != exact.Pairs {
+		t.Errorf("fallback mismatch: %d vs %d", repAll.Pairs, exact.Pairs)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := gen.Grid(4, 4)
+	if !Subgraph(g, g) {
+		t.Error("graph not subgraph of itself")
+	}
+	h := gen.Path(16)
+	// Path 0-1-2-...-15 is NOT a subgraph of the 4x4 grid (3-4 not an
+	// edge there).
+	if Subgraph(h, g) {
+		t.Error("path misdetected as grid subgraph")
+	}
+}
+
+func TestSizeReport(t *testing.T) {
+	g := gen.Complete(10)
+	h := gen.Star(10)
+	rep := Size(g, h, 18)
+	if rep.Edges != 9 || rep.GraphEdges != 45 {
+		t.Errorf("edges wrong: %+v", rep)
+	}
+	if rep.Ratio != 0.5 {
+		t.Errorf("Ratio=%v, want 0.5", rep.Ratio)
+	}
+}
+
+func TestMeanRatioWithinWorst(t *testing.T) {
+	g := gen.Cycle(12)
+	b := graph.NewBuilder(12)
+	for i := 0; i+1 < 12; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := b.Build()
+	rep := Stretch(g, h, 1, 100)
+	if rep.MeanRatio > rep.WorstRatio || rep.MeanRatio < 1 {
+		t.Errorf("MeanRatio=%v outside [1, WorstRatio=%v]", rep.MeanRatio, rep.WorstRatio)
+	}
+}

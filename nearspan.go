@@ -1,0 +1,257 @@
+// Package nearspan constructs sparse (1+ε, β) near-additive spanners of
+// unweighted undirected graphs with the deterministic CONGEST-model
+// algorithm of Elkin & Matar (PODC 2019), together with the randomized
+// and centralized baselines it is compared against, a full CONGEST round
+// simulator, and verification tooling.
+//
+// # Quick start
+//
+//	g := nearspan.Grid(32, 32)
+//	res, err := nearspan.BuildSpanner(g, nearspan.Config{
+//		Eps: 0.5, Kappa: 4, Rho: 0.45,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.EdgeCount(), "of", g.M(), "edges kept")
+//	rep := nearspan.VerifyStretch(g, res.Spanner,
+//		1+res.Params.EpsPrime(), res.Params.BetaInt())
+//	fmt.Println("stretch ok:", rep.OK())
+//
+// The spanner satisfies d_H(u,v) <= (1+ε')·d_G(u,v) + β for every vertex
+// pair, with ε' and β as in the paper's Corollary 2.18; res.TotalRounds
+// reports the CONGEST rounds consumed when built in DistributedMode.
+//
+// The deeper layers are exposed for experimentation: the CONGEST
+// simulator and node programs live in internal packages and surface
+// through the spanner construction modes; graph generators and stretch
+// verification are re-exported here.
+package nearspan
+
+import (
+	"fmt"
+	"io"
+
+	"nearspan/internal/baseline"
+	"nearspan/internal/core"
+	"nearspan/internal/gen"
+	"nearspan/internal/graph"
+	"nearspan/internal/oracle"
+	"nearspan/internal/params"
+	"nearspan/internal/verify"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. Build one
+// with NewBuilder or the generators below.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Params is the validated parameter set and derived phase schedule.
+type Params = params.Params
+
+// Result is the outcome of a spanner construction.
+type Result = core.Result
+
+// PhaseStats records one phase's measurements.
+type PhaseStats = core.PhaseStats
+
+// StretchReport summarizes a stretch verification.
+type StretchReport = verify.StretchReport
+
+// Mode selects how the construction executes.
+type Mode = core.Mode
+
+// Execution modes: CentralizedMode runs the fast reference
+// implementation; DistributedMode runs the full CONGEST protocol stack
+// and measures rounds. Both produce the identical spanner.
+const (
+	CentralizedMode = core.ModeCentralized
+	DistributedMode = core.ModeDistributed
+)
+
+// Config configures BuildSpanner.
+type Config struct {
+	// Eps is the paper's internal ε (0 < ε <= 1): the phase distance
+	// scale. Smaller ε gives better multiplicative stretch and a larger
+	// additive term β = ε^{-ℓ}. If TargetEpsPrime is set, Eps is derived
+	// instead.
+	Eps float64
+	// TargetEpsPrime, when positive, requests a final multiplicative
+	// stretch of 1+TargetEpsPrime and derives ε by the paper's §2.4.4
+	// rescaling.
+	TargetEpsPrime float64
+	// Kappa (κ >= 2) controls spanner size: O(β·n^{1+1/κ}) edges.
+	Kappa int
+	// Rho (1/κ <= ρ < 1/2) controls the round budget: O(β·n^ρ/ρ).
+	Rho float64
+	// Mode selects the execution backend (default CentralizedMode).
+	Mode Mode
+	// GoroutineEngine runs the distributed mode with one goroutine per
+	// vertex instead of the sequential round loop.
+	GoroutineEngine bool
+	// KeepClusters retains per-phase cluster collections in the result.
+	KeepClusters bool
+}
+
+// BuildSpanner constructs a (1+ε', β)-spanner of g.
+func BuildSpanner(g *Graph, cfg Config) (*Result, error) {
+	var p *Params
+	var err error
+	switch {
+	case cfg.TargetEpsPrime > 0:
+		p, err = params.FromTarget(cfg.TargetEpsPrime, cfg.Kappa, cfg.Rho, g.N())
+	case cfg.Eps > 0:
+		p, err = params.New(cfg.Eps, cfg.Kappa, cfg.Rho, g.N())
+	default:
+		return nil, fmt.Errorf("nearspan: set Config.Eps or Config.TargetEpsPrime")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(g, p, core.Options{
+		Mode:            cfg.Mode,
+		GoroutineEngine: cfg.GoroutineEngine,
+		KeepClusters:    cfg.KeepClusters,
+	})
+}
+
+// NewParams exposes the parameter derivation for callers that want to
+// inspect the schedule (ℓ, deg_i, δ_i, β) before building.
+func NewParams(eps float64, kappa int, rho float64, n int) (*Params, error) {
+	return params.New(eps, kappa, rho, n)
+}
+
+// NewParamsWithEstimate derives the schedule when vertices know only an
+// estimate ñ >= n of the vertex count (paper §1.3.1); pass the result to
+// core building via BuildSpannerWithParams.
+func NewParamsWithEstimate(eps float64, kappa int, rho float64, n, nTilde int) (*Params, error) {
+	return params.NewWithEstimate(eps, kappa, rho, n, nTilde)
+}
+
+// BuildSpannerWithParams constructs a spanner under an explicit
+// parameter schedule (e.g. one built with NewParamsWithEstimate).
+func BuildSpannerWithParams(g *Graph, p *Params, mode Mode, goroutineEngine, keepClusters bool) (*Result, error) {
+	return core.Build(g, p, core.Options{
+		Mode:            mode,
+		GoroutineEngine: goroutineEngine,
+		KeepClusters:    keepClusters,
+	})
+}
+
+// VerifyStretch measures the (alpha, beta) stretch of h against g
+// exactly, over all connected pairs.
+func VerifyStretch(g, h *Graph, alpha float64, beta int32) StretchReport {
+	return verify.Stretch(g, h, alpha, beta)
+}
+
+// VerifyStretchSampled measures stretch from a deterministic sample of
+// BFS sources, for graphs too large for the exact check.
+func VerifyStretchSampled(g, h *Graph, alpha float64, beta int32, samples int, seed uint64) StretchReport {
+	return verify.StretchSampled(g, h, alpha, beta, samples, seed)
+}
+
+// IsSubgraph reports whether h's edges all exist in g.
+func IsSubgraph(h, g *Graph) bool { return verify.Subgraph(h, g) }
+
+// Baseline constructions, for comparison studies. See the experiments
+// binary for the full Table 1 / Table 2 harness.
+
+// BuildEN17 constructs the randomized Elkin–Neiman (SODA 2017) spanner.
+func BuildEN17(g *Graph, eps float64, kappa int, rho float64, seed uint64) (*baseline.EN17Result, error) {
+	p, err := baseline.NewEN17Params(eps, kappa, rho, g.N())
+	if err != nil {
+		return nil, err
+	}
+	return baseline.BuildEN17(g, p, seed)
+}
+
+// BuildEP01 constructs the centralized Elkin–Peleg (STOC 2001) spanner.
+func BuildEP01(g *Graph, eps float64, kappa int, rho float64) (*baseline.EP01Result, error) {
+	p, err := baseline.NewEP01Params(eps, kappa, rho, g.N())
+	if err != nil {
+		return nil, err
+	}
+	return baseline.BuildEP01(g, p)
+}
+
+// BuildBaswanaSen constructs a (2κ−1)-multiplicative spanner.
+func BuildBaswanaSen(g *Graph, kappa int, seed uint64) (*Graph, error) {
+	return baseline.BuildBaswanaSen(g, kappa, seed)
+}
+
+// BuildGreedy constructs the greedy (2κ−1)-multiplicative spanner.
+func BuildGreedy(g *Graph, kappa int) (*Graph, error) {
+	return baseline.BuildGreedy(g, kappa)
+}
+
+// DistanceOracle answers approximate distance queries over a
+// preprocessed spanner with the (1+ε', β) guarantee.
+type DistanceOracle = oracle.Oracle
+
+// OracleOptions configure NewDistanceOracle.
+type OracleOptions = oracle.Options
+
+// NewDistanceOracle preprocesses g into an approximate distance oracle:
+// queries traverse the spanner (O(β·n^{1+1/κ}) edges) instead of g.
+func NewDistanceOracle(g *Graph, opts OracleOptions) (*DistanceOracle, error) {
+	return oracle.New(g, opts)
+}
+
+// OracleFromResult wraps an already-built spanner in a distance oracle.
+func OracleFromResult(g *Graph, res *Result, cacheSources int) (*DistanceOracle, error) {
+	return oracle.FromSpanner(g, res, cacheSources)
+}
+
+// Graph generators (deterministic given their seeds).
+
+// Path returns the n-vertex path graph.
+func Path(n int) *Graph { return gen.Path(n) }
+
+// Cycle returns the n-vertex cycle graph.
+func Cycle(n int) *Graph { return gen.Cycle(n) }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// Torus returns the rows×cols torus graph.
+func Torus(rows, cols int) *Graph { return gen.Torus(rows, cols) }
+
+// Hypercube returns the d-dimensional hypercube graph.
+func Hypercube(d int) *Graph { return gen.Hypercube(d) }
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, seed uint64, ensureConnected bool) *Graph {
+	return gen.GNP(n, p, seed, ensureConnected)
+}
+
+// RandomRegular returns a (near-)d-regular graph.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return gen.RandomRegular(n, d, seed)
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph.
+func PreferentialAttachment(n, m int, seed uint64) (*Graph, error) {
+	return gen.PreferentialAttachment(n, m, seed)
+}
+
+// Communities returns a planted-partition graph with k communities of
+// commSize vertices.
+func Communities(k, commSize int, pIn, pOut float64, seed uint64) *Graph {
+	return gen.Communities(k, commSize, pIn, pOut, seed)
+}
+
+// RandomTree returns a uniform random attachment tree.
+func RandomTree(n int, seed uint64) *Graph { return gen.RandomTree(n, seed) }
+
+// RandomGeometric returns a random geometric graph on n points in the
+// unit square with the given connection radius.
+func RandomGeometric(n int, radius float64, seed uint64, ensureConnected bool) *Graph {
+	return gen.RandomGeometric(n, radius, seed, ensureConnected)
+}
+
+// ReadEdgeList parses the whitespace edge-list format (header "n m",
+// one "u v" line per edge; '#' comments allowed).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
