@@ -244,6 +244,48 @@ func benchEngine(b *testing.B, engine congest.Engine) {
 
 func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, congest.EngineSequential) }
 func BenchmarkEngineGoroutine(b *testing.B)  { benchEngine(b, congest.EngineGoroutine) }
+func BenchmarkEngineParallel(b *testing.B)   { benchEngine(b, congest.EngineParallel) }
+
+// --- CONGEST engine comparison on the full construction ---
+
+// BenchmarkEngineComparison runs the complete distributed construction
+// on each engine over the three workload shapes the Table 1/Table 2
+// harness cares about: GNP (dense superclustering), grid (sparse,
+// symmetric), and preferential attachment (degree-skewed — the shard
+// work-stealing stress case). On multi-core hardware the parallel
+// engine's wall clock should beat sequential; outputs are identical by
+// construction (asserted in the test suite, not here).
+func BenchmarkEngineComparison(b *testing.B) {
+	pa, err := gen.PreferentialAttachment(1024, 3, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workloads := []struct {
+		name string
+		g    *nearspan.Graph
+	}{
+		{"gnp-1024", gen.GNP(1024, 16.0/1024, 17, true)},
+		{"grid-1024", gen.Grid(32, 32)},
+		{"pa-1024", pa},
+	}
+	for _, wl := range workloads {
+		p, err := params.New(1.0/3, 3, 0.49, wl.g.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range congest.Engines() {
+			b.Run(wl.name+"/"+eng.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Build(wl.g, p, core.Options{
+						Mode: core.ModeDistributed, Engine: eng,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // --- Ablation benches ---
 

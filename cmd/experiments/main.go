@@ -9,17 +9,25 @@ import (
 	"fmt"
 	"os"
 
+	"nearspan/internal/congest"
 	"nearspan/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced workload suite")
+	engine := flag.String("engine", "parallel",
+		"CONGEST engine for distributed builds: sequential|parallel|goroutine (wall clock only; measurements are engine-independent)")
 	flag.Parse()
+	eng, err := congest.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 	cfgs := experiments.DefaultConfigs()
 	if *quick {
 		cfgs = experiments.QuickConfigs()
 	}
-	if err := experiments.Suite(os.Stdout, cfgs); err != nil {
+	if err := experiments.Suite(os.Stdout, cfgs, eng); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}

@@ -6,6 +6,7 @@
 //
 //	spanner -graph gnp -n 600 -p 0.03 -eps 0.33 -kappa 3 -rho 0.49
 //	spanner -graph torus -n 576 -mode distributed -csv
+//	spanner -graph gnp -n 2000 -mode distributed -engine parallel
 //	spanner -graph communities -n 500 -verify=false
 package main
 
@@ -36,7 +37,8 @@ func run() error {
 		eps    = flag.Float64("eps", 1.0/3, "internal epsilon (0 < eps <= 1)")
 		kappa  = flag.Int("kappa", 3, "size exponent kappa (>= 2)")
 		rho    = flag.Float64("rho", 0.49, "round exponent rho (1/kappa <= rho < 1/2)")
-		mode   = flag.String("mode", "centralized", "execution mode: centralized|distributed|goroutine")
+		mode   = flag.String("mode", "centralized", "execution mode: centralized|distributed (goroutine is a deprecated alias for distributed -engine goroutine)")
+		engine = flag.String("engine", "sequential", "CONGEST engine for distributed mode: sequential|parallel|goroutine")
 		verify = flag.Bool("verify", true, "verify the stretch bound exactly (O(n(m_G+m_H)))")
 		csv    = flag.Bool("csv", false, "emit phase table as CSV")
 	)
@@ -52,15 +54,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
 	cfg := nearspan.Config{Eps: *eps, Kappa: *kappa, Rho: *rho, KeepClusters: false}
+	cfg.Engine, err = nearspan.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	switch *mode {
 	case "centralized":
 		cfg.Mode = nearspan.CentralizedMode
 	case "distributed":
 		cfg.Mode = nearspan.DistributedMode
-	case "goroutine":
+	case "goroutine": // deprecated alias, kept for old invocations
+		if engineSet && cfg.Engine != nearspan.EngineGoroutine {
+			return fmt.Errorf("-mode goroutine conflicts with -engine %s; use -mode distributed -engine %s",
+				cfg.Engine, cfg.Engine)
+		}
 		cfg.Mode = nearspan.DistributedMode
-		cfg.GoroutineEngine = true
+		cfg.Engine = nearspan.EngineGoroutine
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -80,7 +96,8 @@ func run() error {
 		res.EdgeCount(), 100*float64(res.EdgeCount())/math.Max(1, float64(g.M())),
 		pp.EpsPrime(), pp.BetaInt())
 	if cfg.Mode == nearspan.DistributedMode {
-		fmt.Printf("CONGEST: %d rounds, %d messages\n", res.TotalRounds, res.Messages)
+		fmt.Printf("CONGEST: %d rounds, %d messages (%s engine)\n",
+			res.TotalRounds, res.Messages, cfg.Engine)
 	}
 
 	t := stats.NewTable("phases", "i", "deg_i", "delta_i", "|P_i|", "|W_i|", "|RS_i|", "|U_i|",

@@ -1,0 +1,83 @@
+package nearspan_test
+
+import (
+	"fmt"
+
+	"nearspan"
+)
+
+// ExampleBuildSpanner mirrors the package quick start: build a
+// (1+ε', β)-spanner of a grid and report how much of the graph was kept.
+// The construction is deterministic, so the output is exact.
+func ExampleBuildSpanner() {
+	g := nearspan.Grid(32, 32)
+	res, err := nearspan.BuildSpanner(g, nearspan.Config{
+		Eps: 0.5, Kappa: 4, Rho: 0.45,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.EdgeCount(), "of", g.M(), "edges kept")
+	// Output:
+	// 1984 of 1984 edges kept
+}
+
+// ExampleBuildSpanner_distributed runs the same construction as an
+// actual CONGEST protocol on the parallel sharded engine and reports the
+// measured round count — the paper's "running time". Every engine
+// produces the identical spanner and round count.
+func ExampleBuildSpanner_distributed() {
+	g := nearspan.GNP(300, 0.05, 41, true)
+	res, err := nearspan.BuildSpanner(g, nearspan.Config{
+		Eps: 1.0 / 3, Kappa: 3, Rho: 0.49,
+		Mode:   nearspan.DistributedMode,
+		Engine: nearspan.EngineParallel,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sparsified:", res.EdgeCount() < g.M())
+	fmt.Println("rounds measured:", res.TotalRounds > 0)
+	// Output:
+	// sparsified: true
+	// rounds measured: true
+}
+
+// ExampleVerifyStretch checks the spanner's (1+ε', β) guarantee exactly,
+// over all connected vertex pairs.
+func ExampleVerifyStretch() {
+	g := nearspan.GNP(200, 0.06, 7, true)
+	res, err := nearspan.BuildSpanner(g, nearspan.Config{
+		Eps: 1.0 / 3, Kappa: 3, Rho: 0.49,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := nearspan.VerifyStretch(g, res.Spanner,
+		1+res.Params.EpsPrime(), res.Params.BetaInt())
+	fmt.Println("stretch ok:", rep.OK())
+	fmt.Println("subgraph:", nearspan.IsSubgraph(res.Spanner, g))
+	// Output:
+	// stretch ok: true
+	// subgraph: true
+}
+
+// ExampleNewDistanceOracle preprocesses a graph into an approximate
+// distance oracle: queries traverse the sparse spanner instead of the
+// graph, and every answer carries the (1+ε', β) guarantee.
+func ExampleNewDistanceOracle() {
+	g := nearspan.Torus(16, 16)
+	o, err := nearspan.NewDistanceOracle(g, nearspan.OracleOptions{
+		Eps: 0.5, Kappa: 4, Rho: 0.45,
+	})
+	if err != nil {
+		panic(err)
+	}
+	exact := g.Distance(0, 136)
+	approx := o.Dist(0, 136)
+	fmt.Println("exact:", exact)
+	fmt.Println("approx within guarantee:", approx >= exact)
+	// Output:
+	// exact: 16
+	// approx within guarantee: true
+}

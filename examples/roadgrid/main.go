@@ -4,9 +4,9 @@
 // The workload is a torus "road network": every intersection is a
 // processor that can only talk to adjacent intersections, one O(1)-word
 // message per road per round. The example runs the full protocol stack
-// on the simulator twice — once on the sequential engine and once with a
-// goroutine per intersection — and shows both produce the identical
-// spanner with the identical round count.
+// on the simulator three times — the sequential round loop, the sharded
+// parallel worker pool, and a goroutine per intersection — and shows all
+// engines produce the identical spanner with the identical round count.
 package main
 
 import (
@@ -22,24 +22,22 @@ func main() {
 	fmt.Printf("road grid: %d intersections, %d segments, diameter %d\n",
 		roads.N(), roads.M(), roads.Diameter())
 
-	for _, engine := range []struct {
-		name       string
-		goroutines bool
-	}{
-		{"sequential engine", false},
-		{"goroutine-per-vertex engine", true},
+	for _, engine := range []nearspan.Engine{
+		nearspan.EngineSequential,
+		nearspan.EngineParallel,
+		nearspan.EngineGoroutine,
 	} {
 		start := time.Now()
 		res, err := nearspan.BuildSpanner(roads, nearspan.Config{
 			Eps: 0.5, Kappa: 4, Rho: 0.45,
-			Mode:            nearspan.DistributedMode,
-			GoroutineEngine: engine.goroutines,
+			Mode:   nearspan.DistributedMode,
+			Engine: engine,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: %d edges, %d CONGEST rounds, %d messages (wall clock %v)\n",
-			engine.name, res.EdgeCount(), res.TotalRounds, res.Messages,
+		fmt.Printf("%s engine: %d edges, %d CONGEST rounds, %d messages (wall clock %v)\n",
+			engine, res.EdgeCount(), res.TotalRounds, res.Messages,
 			time.Since(start).Round(time.Millisecond))
 		for _, ph := range res.Phases {
 			fmt.Printf("  phase %d: deg=%d delta=%d rounds: NN=%d RS=%d SC=%d IC=%d\n",

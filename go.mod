@@ -1,0 +1,3 @@
+module nearspan
+
+go 1.24

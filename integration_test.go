@@ -28,10 +28,10 @@ func TestEndToEndPipeline(t *testing.T) {
 			g.N(), g.M(), original.N(), original.M())
 	}
 
-	// Distributed construction with the goroutine engine.
+	// Distributed construction with the parallel sharded engine.
 	res, err := nearspan.BuildSpanner(g, nearspan.Config{
 		Eps: 1.0 / 3, Kappa: 3, Rho: 0.49,
-		Mode: nearspan.DistributedMode, GoroutineEngine: true,
+		Mode: nearspan.DistributedMode, Engine: nearspan.EngineParallel,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,34 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res2.EdgeCount() != res.EdgeCount() || !nearspan.IsSubgraph(res2.Spanner, res.Spanner) {
-		t.Error("sequential engine rebuild differs from goroutine engine build")
+		t.Error("sequential engine rebuild differs from parallel engine build")
+	}
+}
+
+// TestDeprecatedGoroutineEngineAlias exercises the deprecated boolean
+// and the mixed alias+enum config end to end through the public API.
+// (Which engine each config resolves to is pinned by the white-box
+// TestConfigEngineResolution — outputs alone cannot distinguish
+// engines, by design.)
+func TestDeprecatedGoroutineEngineAlias(t *testing.T) {
+	g := nearspan.Grid(8, 8)
+	build := func(cfg nearspan.Config) *nearspan.Result {
+		cfg.Eps, cfg.Kappa, cfg.Rho = 0.5, 4, 0.45
+		cfg.Mode = nearspan.DistributedMode
+		res, err := nearspan.BuildSpanner(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	old := build(nearspan.Config{GoroutineEngine: true})
+	enum := build(nearspan.Config{Engine: nearspan.EngineGoroutine})
+	both := build(nearspan.Config{Engine: nearspan.EngineParallel, GoroutineEngine: true})
+	if old.EdgeCount() != enum.EdgeCount() || old.TotalRounds != enum.TotalRounds {
+		t.Error("deprecated GoroutineEngine alias diverges from Engine: EngineGoroutine")
+	}
+	if both.EdgeCount() != enum.EdgeCount() || both.TotalRounds != enum.TotalRounds {
+		t.Error("engines disagree on output — determinism contract broken")
 	}
 }
 

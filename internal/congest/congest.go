@@ -3,17 +3,21 @@
 // communication with graph neighbors in synchronous rounds, and messages
 // limited to O(1) words per edge per round.
 //
-// Two interchangeable engines execute node programs:
+// Three interchangeable engines execute node programs:
 //
-//   - EngineSequential: a single-threaded round loop — fast, used for
+//   - EngineSequential: a single-threaded round loop — the reference
+//     execution.
+//   - EngineParallel: vertices partitioned into shards fanned out to a
+//     fixed worker pool each round — uses all cores, the engine for
 //     large experiments.
 //   - EngineGoroutine: one goroutine per vertex with channel-based round
 //     barriers — the natural Go rendering of message-passing processors,
 //     used to demonstrate and cross-check model fidelity.
 //
-// Both engines are deterministic and produce identical executions for the
-// same program (tested), so round counts measured on either are the
-// paper's "running time".
+// All engines are deterministic and produce bit-identical executions for
+// the same program (tested pairwise), so round counts measured on any of
+// them are the paper's "running time". See parallel.go for the
+// determinism argument.
 //
 // Bandwidth is enforced: a node may send at most Options.Bandwidth
 // messages (default 1) of at most MessageWords words over each incident
@@ -73,6 +77,10 @@ const (
 	EngineSequential Engine = iota + 1
 	// EngineGoroutine runs one goroutine per vertex with round barriers.
 	EngineGoroutine
+	// EngineParallel runs vertex shards on a fixed worker pool sized to
+	// GOMAXPROCS (see Options.Workers), amortizing the per-goroutine
+	// overhead that makes EngineGoroutine impractical at scale.
+	EngineParallel
 )
 
 func (e Engine) String() string {
@@ -81,9 +89,26 @@ func (e Engine) String() string {
 		return "sequential"
 	case EngineGoroutine:
 		return "goroutine"
+	case EngineParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
+}
+
+// Engines lists the available engines in display order.
+func Engines() []Engine {
+	return []Engine{EngineSequential, EngineParallel, EngineGoroutine}
+}
+
+// ParseEngine parses an engine name as printed by Engine.String.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("congest: unknown engine %q (want sequential|parallel|goroutine)", name)
 }
 
 // DeliveryOrder controls the order in which a round's messages are
@@ -106,6 +131,10 @@ type Options struct {
 	Engine    Engine        // defaults to EngineSequential
 	Bandwidth int           // messages per directed edge per round; defaults to 1
 	Delivery  DeliveryOrder // defaults to DeliverPortAscending
+	// Workers is the worker-pool size for EngineParallel; defaults to
+	// GOMAXPROCS. Ignored by the other engines. Any value produces the
+	// identical execution — it only changes the hardware parallelism.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -153,10 +182,16 @@ type Simulator struct {
 	halted  []bool
 	round   int
 
+	// The first violation in (round, vertex) order. Keeping the
+	// lexicographic minimum (rather than whichever write wins the race)
+	// makes the reported error identical on every engine.
 	violMu         sync.Mutex
 	firstViolation error
+	violRound      int
+	violVertex     int
 
 	workers *workerPool // lazily started for EngineGoroutine
+	pool    *shardPool  // lazily started for EngineParallel
 }
 
 // New creates a simulator running progs[v] at vertex v.
@@ -248,7 +283,7 @@ func (e *Env) Round() int { return e.sim.round }
 func (e *Env) Send(port int, m Message) error {
 	if port < 0 || port >= e.Degree() {
 		err := fmt.Errorf("%w: vertex %d port %d (degree %d)", ErrPort, e.id, port, e.Degree())
-		e.sim.recordViolation(err)
+		e.sim.recordViolation(e.id, err)
 		return err
 	}
 	s := e.slotBase + port
@@ -256,7 +291,7 @@ func (e *Env) Send(port int, m Message) error {
 	if int(e.sim.nxCounts[s]) >= b {
 		err := fmt.Errorf("%w: vertex %d port %d round %d (bandwidth %d)",
 			ErrBandwidth, e.id, port, e.sim.round, b)
-		e.sim.recordViolation(err)
+		e.sim.recordViolation(e.id, err)
 		return err
 	}
 	e.sim.next[s*b+int(e.sim.nxCounts[s])] = m
@@ -279,10 +314,16 @@ func (e *Env) Broadcast(m Message) error {
 // until a message arrives. Used for message-driven quiescence.
 func (e *Env) Halt() { e.sim.halted[e.id] = true }
 
-func (s *Simulator) recordViolation(err error) {
+// recordViolation keeps the violation with the lowest (round, vertex);
+// concurrent engines then report the same error the sequential engine
+// would. Run returns at the end of the first violating round, so only
+// violations of a single round (plus Init) ever compete.
+func (s *Simulator) recordViolation(v int, err error) {
 	s.violMu.Lock()
-	if s.firstViolation == nil {
+	if s.firstViolation == nil || s.round < s.violRound ||
+		(s.round == s.violRound && v < s.violVertex) {
 		s.firstViolation = err
+		s.violRound, s.violVertex = s.round, v
 	}
 	s.violMu.Unlock()
 }
@@ -358,6 +399,8 @@ func (s *Simulator) step() {
 	switch s.opts.Engine {
 	case EngineGoroutine:
 		s.stepGoroutine()
+	case EngineParallel:
+		s.stepParallel()
 	default:
 		s.stepSequential()
 	}

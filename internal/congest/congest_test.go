@@ -231,26 +231,51 @@ func runGossip(t *testing.T, g *graph.Graph, opts Options, horizon int) ([][]int
 	return out, sim.Metrics()
 }
 
+// TestEnginesProduceIdenticalExecutions checks all engine pairs for
+// bit-identical per-round histories and metrics, on workloads with
+// nontrivial traffic. The parallel engine additionally runs with a
+// worker count far above GOMAXPROCS: determinism must not depend on how
+// shards map onto hardware.
 func TestEnginesProduceIdenticalExecutions(t *testing.T) {
 	graphs := map[string]*graph.Graph{
 		"grid":  gen.Grid(5, 8),
 		"gnp":   gen.GNP(60, 0.08, 11, true),
 		"torus": gen.Torus(6, 6),
 	}
+	engines := map[string]Options{
+		"sequential":  {Engine: EngineSequential},
+		"goroutine":   {Engine: EngineGoroutine},
+		"parallel":    {Engine: EngineParallel},
+		"parallel-w7": {Engine: EngineParallel, Workers: 7},
+	}
 	for name, g := range graphs {
-		seqHist, seqM := runGossip(t, g, Options{Engine: EngineSequential}, 12)
-		gorHist, gorM := runGossip(t, g, Options{Engine: EngineGoroutine}, 12)
-		if seqM != gorM {
-			t.Errorf("%s: metrics differ: seq=%+v gor=%+v", name, seqM, gorM)
+		type run struct {
+			label string
+			hist  [][]int64
+			m     Metrics
 		}
-		for v := range seqHist {
-			if len(seqHist[v]) != len(gorHist[v]) {
-				t.Fatalf("%s vertex %d: history lengths differ", name, v)
-			}
-			for i := range seqHist[v] {
-				if seqHist[v][i] != gorHist[v][i] {
-					t.Errorf("%s vertex %d round %d: seq=%d gor=%d",
-						name, v, i, seqHist[v][i], gorHist[v][i])
+		var runs []run
+		for label, opts := range engines {
+			hist, m := runGossip(t, g, opts, 12)
+			runs = append(runs, run{label, hist, m})
+		}
+		for i := 0; i < len(runs); i++ {
+			for j := i + 1; j < len(runs); j++ {
+				a, b := runs[i], runs[j]
+				if a.m != b.m {
+					t.Errorf("%s: metrics differ: %s=%+v %s=%+v", name, a.label, a.m, b.label, b.m)
+				}
+				for v := range a.hist {
+					if len(a.hist[v]) != len(b.hist[v]) {
+						t.Fatalf("%s vertex %d: history lengths differ (%s vs %s)",
+							name, v, a.label, b.label)
+					}
+					for r := range a.hist[v] {
+						if a.hist[v][r] != b.hist[v][r] {
+							t.Errorf("%s vertex %d round %d: %s=%d %s=%d",
+								name, v, r, a.label, a.hist[v][r], b.label, b.hist[v][r])
+						}
+					}
 				}
 			}
 		}
@@ -288,13 +313,15 @@ func TestMetricsCountMessages(t *testing.T) {
 	}
 }
 
-func TestGoroutineEngineOnFlood(t *testing.T) {
+func TestConcurrentEnginesOnFlood(t *testing.T) {
 	g := gen.GNP(50, 0.1, 3, true)
 	_, seqD := runFlood(t, g, 7, Options{Engine: EngineSequential})
-	_, gorD := runFlood(t, g, 7, Options{Engine: EngineGoroutine})
-	for v := range seqD {
-		if seqD[v] != gorD[v] {
-			t.Errorf("vertex %d: seq dist %d, goroutine dist %d", v, seqD[v], gorD[v])
+	for _, eng := range []Engine{EngineGoroutine, EngineParallel} {
+		_, d := runFlood(t, g, 7, Options{Engine: eng})
+		for v := range seqD {
+			if seqD[v] != d[v] {
+				t.Errorf("vertex %d: seq dist %d, %s dist %d", v, seqD[v], eng, d[v])
+			}
 		}
 	}
 }
@@ -338,7 +365,8 @@ func (p *portOrderProg) Round(env *Env, recv []Inbound) {
 }
 
 func TestEngineString(t *testing.T) {
-	if EngineSequential.String() != "sequential" || EngineGoroutine.String() != "goroutine" {
+	if EngineSequential.String() != "sequential" || EngineGoroutine.String() != "goroutine" ||
+		EngineParallel.String() != "parallel" {
 		t.Error("Engine.String broken")
 	}
 	if Engine(99).String() != "Engine(99)" {
@@ -346,17 +374,31 @@ func TestEngineString(t *testing.T) {
 	}
 }
 
+func TestParseEngine(t *testing.T) {
+	for _, e := range Engines() {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("quantum"); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+}
+
 func TestCloseIdempotent(t *testing.T) {
-	g := gen.Path(4)
-	sim, err := NewUniform(g, newFlood(0), Options{Engine: EngineGoroutine})
-	if err != nil {
-		t.Fatal(err)
+	for _, eng := range []Engine{EngineGoroutine, EngineParallel} {
+		g := gen.Path(4)
+		sim, err := NewUniform(g, newFlood(0), Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		sim.Close()
+		sim.Close() // must not panic or deadlock
 	}
-	if err := sim.Run(3); err != nil {
-		t.Fatal(err)
-	}
-	sim.Close()
-	sim.Close() // must not panic or deadlock
 }
 
 func TestDeliveryOrderDescending(t *testing.T) {
@@ -408,19 +450,75 @@ func (p *panicProg) Round(env *Env, recv []Inbound) {
 	_ = env.Broadcast(Message{Kind: 9})
 }
 
-func TestGoroutineEngineRepropagatesPanic(t *testing.T) {
-	g := gen.Path(4)
-	sim, err := NewUniform(g, func(v int) Program { return &panicProg{boom: v == 2} },
-		Options{Engine: EngineGoroutine})
-	if err != nil {
-		t.Fatal(err)
+func TestConcurrentEnginesRepropagatePanic(t *testing.T) {
+	for _, eng := range []Engine{EngineGoroutine, EngineParallel} {
+		t.Run(eng.String(), func(t *testing.T) {
+			g := gen.Path(4)
+			sim, err := NewUniform(g, func(v int) Program { return &panicProg{boom: v == 2} },
+				Options{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Error("panic in a vertex program was swallowed")
+				}
+			}()
+			_ = sim.Run(5)
+		})
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("panic in a vertex program was swallowed")
+}
+
+// roundOverSender wakes every vertex in round 1 (via the Init
+// broadcast) and then over-sends on port 0 — so the violations happen
+// inside the engines' concurrent round execution, not in Init (which
+// always runs on the coordinator).
+type roundOverSender struct{}
+
+func (p *roundOverSender) Init(env *Env) { _ = env.Broadcast(Message{Kind: 3}) }
+func (p *roundOverSender) Round(env *Env, recv []Inbound) {
+	if env.Round() == 1 && env.Degree() > 0 {
+		_ = env.Send(0, Message{Kind: 3})
+		_ = env.Send(0, Message{Kind: 3})
+	}
+	env.Halt()
+}
+
+// The reported model violation must be identical on every engine: the
+// lowest-(round, vertex) violation wins, not whichever worker's write
+// races in first. Covered for both places a program can violate —
+// during Init (coordinator) and during a concurrently executed round,
+// where many vertices violate at once across shards/goroutines.
+func TestViolationDeterministicAcrossEngines(t *testing.T) {
+	progs := map[string]func(v int) Program{
+		"init-violation":  func(v int) Program { return &overSender{} },
+		"round-violation": func(v int) Program { return &roundOverSender{} },
+	}
+	for name, factory := range progs {
+		var want string
+		for _, opts := range []Options{
+			{Engine: EngineSequential},
+			{Engine: EngineGoroutine},
+			{Engine: EngineParallel},
+			{Engine: EngineParallel, Workers: 5},
+		} {
+			g := gen.GNP(60, 0.1, 13, true)
+			sim, err := NewUniform(g, factory, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = sim.Run(2)
+			sim.Close()
+			if !errors.Is(err, ErrBandwidth) {
+				t.Fatalf("%s/%s: Run error = %v, want ErrBandwidth", name, opts.Engine, err)
+			}
+			if want == "" {
+				want = err.Error()
+			} else if err.Error() != want {
+				t.Errorf("%s/%s: violation %q, sequential reported %q", name, opts.Engine, err, want)
+			}
 		}
-	}()
-	_ = sim.Run(5)
+	}
 }
 
 func TestHaltedVertexWakesOnMessage(t *testing.T) {

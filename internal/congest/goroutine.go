@@ -17,8 +17,21 @@ type workerPool struct {
 	lifetime  sync.WaitGroup // worker shutdown
 	closeOnce sync.Once
 
-	panicMu  sync.Mutex
-	panicked any
+	panicMu     sync.Mutex
+	panicVertex int
+	panicked    any
+}
+
+// recordPanic keeps the panic of the lowest vertex — the one the
+// sequential engine would hit first — so the re-raised value is
+// deterministic when several vertices panic in one round.
+func (wp *workerPool) recordPanic(v int, r any) {
+	wp.panicMu.Lock()
+	if wp.panicked == nil || v < wp.panicVertex {
+		wp.panicked = fmt.Sprintf("vertex %d: %v", v, r)
+		wp.panicVertex = v
+	}
+	wp.panicMu.Unlock()
 }
 
 func (s *Simulator) startWorkers() {
@@ -40,11 +53,7 @@ func (s *Simulator) worker(wp *workerPool, v int) {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					wp.panicMu.Lock()
-					if wp.panicked == nil {
-						wp.panicked = fmt.Sprintf("vertex %d: %v", v, r)
-					}
-					wp.panicMu.Unlock()
+					wp.recordPanic(v, r)
 				}
 				wp.barrier.Done()
 			}()
@@ -79,17 +88,20 @@ func (s *Simulator) stepGoroutine() {
 	}
 }
 
-// Close releases the worker goroutines of the goroutine engine. It is a
-// no-op for the sequential engine and safe to call multiple times. Always
-// call it (e.g. via defer) after running with EngineGoroutine.
+// Close releases the worker goroutines of the goroutine and parallel
+// engines. It is a no-op for the sequential engine and safe to call
+// multiple times. Always call it (e.g. via defer) after running with
+// EngineGoroutine or EngineParallel.
 func (s *Simulator) Close() {
-	if s.workers == nil {
-		return
+	if s.workers != nil {
+		s.workers.closeOnce.Do(func() {
+			for _, ch := range s.workers.start {
+				close(ch)
+			}
+			s.workers.lifetime.Wait()
+		})
 	}
-	s.workers.closeOnce.Do(func() {
-		for _, ch := range s.workers.start {
-			close(ch)
-		}
-		s.workers.lifetime.Wait()
-	})
+	if s.pool != nil {
+		s.pool.close()
+	}
 }

@@ -1,0 +1,162 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minShardVertices keeps shards coarse enough that the per-shard
+	// dispatch cost (one atomic increment on the work cursor) stays
+	// negligible next to the program work inside the shard.
+	minShardVertices = 16
+	// shardsPerWorker oversubscribes shards relative to workers so the
+	// work-stealing cursor can rebalance uneven shard costs (e.g.
+	// degree-skewed graphs where a few shards hold the hubs).
+	shardsPerWorker = 4
+)
+
+// shardPool hosts the fixed worker set of EngineParallel. Vertices are
+// partitioned into contiguous shards; each round the coordinator resets
+// the shard cursor, releases every worker, and waits on the barrier while
+// workers claim shards off the cursor and run their vertices.
+//
+// Determinism is structural, not scheduled: a message's position in the
+// next-round buffer is a pure function of its sender vertex and port (the
+// CSR slot layout), so each shard writes a disjoint, pre-reserved region
+// of the outbound buffer — the per-shard outbound buffers of the design
+// are merged at the round barrier by construction, with zero copying.
+// Whatever order the scheduler runs shards in, the buffer contents after
+// the barrier are bit-identical to a sequential round. The remaining
+// order-sensitive observables are canonicalized to the lowest (round,
+// vertex): the reported violation error matches EngineSequential's
+// exactly, and the re-raised panic names the vertex the sequential
+// engine would have hit first (wrapped in a formatted value — the
+// sequential engine propagates the program's raw panic value and stops
+// mid-round, which a worker pool cannot reproduce).
+type shardPool struct {
+	shards [][2]int32 // [lo, hi) vertex ranges, in vertex order
+	cursor atomic.Int64
+
+	start     []chan struct{} // one per worker
+	barrier   sync.WaitGroup  // round completion
+	lifetime  sync.WaitGroup  // worker shutdown
+	closeOnce sync.Once
+
+	panicMu     sync.Mutex
+	panicVertex int
+	panicked    any
+}
+
+func (sp *shardPool) recordPanic(v int, r any) {
+	sp.panicMu.Lock()
+	if sp.panicked == nil || v < sp.panicVertex {
+		sp.panicked = fmt.Sprintf("vertex %d: %v", v, r)
+		sp.panicVertex = v
+	}
+	sp.panicMu.Unlock()
+}
+
+func (s *Simulator) startShardPool() {
+	n := s.g.N()
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	size := (n + workers*shardsPerWorker - 1) / (workers * shardsPerWorker)
+	if size < minShardVertices {
+		size = minShardVertices
+	}
+	sp := &shardPool{start: make([]chan struct{}, workers)}
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		sp.shards = append(sp.shards, [2]int32{int32(lo), int32(hi)})
+	}
+	for w := range sp.start {
+		sp.start[w] = make(chan struct{})
+	}
+	sp.lifetime.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.shardWorker(sp, w)
+	}
+	s.pool = sp
+}
+
+func (s *Simulator) shardWorker(sp *shardPool, w int) {
+	defer sp.lifetime.Done()
+	scratch := make([]Inbound, 0, 64)
+	for range sp.start[w] {
+		for {
+			i := int(sp.cursor.Add(1)) - 1
+			if i >= len(sp.shards) {
+				break
+			}
+			scratch = s.runShard(sp, sp.shards[i], scratch)
+		}
+		sp.barrier.Done()
+	}
+}
+
+// runShard executes one round for every vertex of the shard, in vertex
+// order. A panicking vertex aborts its shard (the pool re-raises the
+// lowest panicking vertex at the barrier, so nothing downstream observes
+// the partial state).
+func (s *Simulator) runShard(sp *shardPool, sh [2]int32, scratch []Inbound) []Inbound {
+	v := int(sh[0])
+	defer func() {
+		if r := recover(); r != nil {
+			sp.recordPanic(v, r)
+		}
+	}()
+	for ; v < int(sh[1]); v++ {
+		recv := s.gatherInbound(v, scratch)
+		if len(recv) > 0 {
+			s.halted[v] = false
+		}
+		if !s.halted[v] {
+			s.progs[v].Round(&s.envs[v], recv)
+		}
+		scratch = recv[:0]
+	}
+	return scratch
+}
+
+func (s *Simulator) stepParallel() {
+	if s.pool == nil {
+		s.startShardPool()
+	}
+	sp := s.pool
+	sp.cursor.Store(0)
+	sp.barrier.Add(len(sp.start))
+	for _, ch := range sp.start {
+		ch <- struct{}{}
+	}
+	sp.barrier.Wait()
+	sp.panicMu.Lock()
+	p := sp.panicked
+	sp.panicMu.Unlock()
+	if p != nil {
+		s.Close()
+		panic(p) // re-raise program panics on the coordinating goroutine
+	}
+}
+
+func (sp *shardPool) close() {
+	sp.closeOnce.Do(func() {
+		for _, ch := range sp.start {
+			close(ch)
+		}
+		sp.lifetime.Wait()
+	})
+}

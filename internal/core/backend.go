@@ -11,18 +11,15 @@ import (
 // exactly their budget (all vertices know the schedule, §1.3.1), and
 // path climbs run to quiescence.
 type distributedBackend struct {
-	g          *graph.Graph
-	nEst       int // the vertex-count estimate known to the vertices
-	goroutines bool
-	msgs       int64
+	g      *graph.Graph
+	nEst   int // the vertex-count estimate known to the vertices
+	engine congest.Engine
+	msgs   int64
 }
 
 func (d *distributedBackend) opts() congest.Options {
-	eng := congest.EngineSequential
-	if d.goroutines {
-		eng = congest.EngineGoroutine
-	}
-	return congest.Options{Engine: eng}
+	// A zero engine falls through to congest's default (sequential).
+	return congest.Options{Engine: d.engine}
 }
 
 func (d *distributedBackend) messages() int64 { return d.msgs }

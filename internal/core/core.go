@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"nearspan/internal/cluster"
+	"nearspan/internal/congest"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
 	"nearspan/internal/protocols"
@@ -63,9 +64,10 @@ func (m Mode) String() string {
 // backend.
 type Options struct {
 	Mode Mode
-	// GoroutineEngine selects the goroutine CONGEST engine instead of
-	// the sequential one (ModeDistributed only).
-	GoroutineEngine bool
+	// Engine selects the CONGEST simulator engine (ModeDistributed
+	// only); the zero value means congest.EngineSequential. Every
+	// engine produces the identical spanner and round count.
+	Engine congest.Engine
 	// KeepClusters retains the per-phase cluster collections in the
 	// result for verification and figure rendering (memory-heavy on
 	// large graphs).
@@ -147,7 +149,7 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 	case ModeCentralized:
 		bk = &centralBackend{g: g, nEst: p.NEstimate}
 	case ModeDistributed:
-		bk = &distributedBackend{g: g, nEst: p.NEstimate, goroutines: opts.GoroutineEngine}
+		bk = &distributedBackend{g: g, nEst: p.NEstimate, engine: opts.Engine}
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}

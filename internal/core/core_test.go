@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nearspan/internal/cluster"
+	"nearspan/internal/congest"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
@@ -98,16 +99,20 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 	}
 }
 
-func TestGoroutineEngineMatches(t *testing.T) {
+// Every CONGEST engine must drive the full construction to the identical
+// spanner, round count, and message count.
+func TestEnginesMatchOnFullConstruction(t *testing.T) {
 	c := testConfigs(t)[1] // gnp-demo
 	seq := build(t, c, Options{Mode: ModeDistributed})
-	gor := build(t, c, Options{Mode: ModeDistributed, GoroutineEngine: true})
-	if !sameSpanner(seq.Spanner, gor.Spanner) {
-		t.Error("goroutine engine produced a different spanner")
-	}
-	if seq.TotalRounds != gor.TotalRounds || seq.Messages != gor.Messages {
-		t.Errorf("engines disagree on metrics: (%d,%d) vs (%d,%d)",
-			seq.TotalRounds, seq.Messages, gor.TotalRounds, gor.Messages)
+	for _, eng := range []congest.Engine{congest.EngineGoroutine, congest.EngineParallel} {
+		got := build(t, c, Options{Mode: ModeDistributed, Engine: eng})
+		if !sameSpanner(seq.Spanner, got.Spanner) {
+			t.Errorf("%s engine produced a different spanner", eng)
+		}
+		if seq.TotalRounds != got.TotalRounds || seq.Messages != got.Messages {
+			t.Errorf("%s engine disagrees on metrics: (%d,%d) vs (%d,%d)",
+				eng, seq.TotalRounds, seq.Messages, got.TotalRounds, got.Messages)
+		}
 	}
 }
 

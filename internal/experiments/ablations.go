@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nearspan/internal/baseline"
+	"nearspan/internal/congest"
 	"nearspan/internal/core"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
@@ -109,9 +110,10 @@ func AblationA2(w io.Writer) error {
 	return nil
 }
 
-// AblationA3 runs the identical distributed construction on both CONGEST
-// engines and reports the wall-clock cost of goroutine-per-vertex model
-// fidelity, verifying output equality.
+// AblationA3 runs the identical distributed construction on all three
+// CONGEST engines and reports the wall-clock cost of each execution
+// strategy (goroutine-per-vertex model fidelity vs sharded parallelism),
+// verifying output equality.
 func AblationA3(w io.Writer) error {
 	g := gen.Torus(12, 12)
 	p, err := params.New(0.5, 4, 0.45, g.N())
@@ -121,22 +123,24 @@ func AblationA3(w io.Writer) error {
 	t := stats.NewTable("Ablation A3 — CONGEST engine comparison (torus-12, distributed mode)",
 		"engine", "edges", "rounds", "messages", "wall clock")
 	var edges []int
-	for _, goroutines := range []bool{false, true} {
+	for _, eng := range congest.Engines() {
 		start := time.Now()
-		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed, GoroutineEngine: goroutines})
+		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed, Engine: eng})
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
-		name := "sequential"
-		if goroutines {
-			name = "goroutine-per-vertex"
-		}
-		t.Add(name, stats.Itoa(res.EdgeCount()), stats.Itoa(res.TotalRounds),
+		t.Add(eng.String(), stats.Itoa(res.EdgeCount()), stats.Itoa(res.TotalRounds),
 			stats.I64(res.Messages), elapsed.Round(time.Millisecond).String())
 		edges = append(edges, res.EdgeCount())
 	}
-	t.Note("outputs identical: %v", edges[0] == edges[1])
+	identical := true
+	for _, e := range edges {
+		if e != edges[0] {
+			identical = false
+		}
+	}
+	t.Note("outputs identical: %v", identical)
 	t.Render(w)
 	fmt.Fprintln(w)
 	return nil

@@ -20,7 +20,7 @@ func Claims(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, KeepClusters: true})
+	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine, KeepClusters: true})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"nearspan/internal/congest"
 )
 
 func TestTable1Runs(t *testing.T) {
@@ -155,7 +157,7 @@ func TestQuickSuiteSmoke(t *testing.T) {
 		t.Skip("suite smoke test skipped in -short mode")
 	}
 	var sb strings.Builder
-	if err := Suite(&sb, QuickConfigs()); err != nil {
+	if err := Suite(&sb, QuickConfigs(), congest.EngineParallel); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "[FAIL]") {

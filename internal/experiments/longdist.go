@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"nearspan/internal/baseline"
+	"nearspan/internal/congest"
 	"nearspan/internal/core"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
@@ -149,8 +150,10 @@ func ringOfCommunities(k, s int, pIn float64, seed uint64) *graph.Graph {
 // RoundScaling measures how the distributed algorithm's round count
 // grows with n at fixed parameters — the paper's headline is that it is
 // low-polynomial (sublinear for ρ < 1/2 once β is fixed). The fitted
-// exponent is reported alongside the schedule's dominant term.
-func RoundScaling(w io.Writer) error {
+// exponent is reported alongside the schedule's dominant term. The
+// engine selects the simulator execution strategy (zero = sequential);
+// it changes only the wall clock, not the measured rounds.
+func RoundScaling(w io.Writer, engine congest.Engine) error {
 	eps, kappa, rho := 1.0/3, 3, 0.49
 	ns := []int{128, 256, 512, 1024}
 	t := stats.NewTable("Round scaling — measured CONGEST rounds vs n (gnp, eps=1/3, kappa=3, rho=0.49)",
@@ -162,7 +165,7 @@ func RoundScaling(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed})
+		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed, Engine: engine})
 		if err != nil {
 			return err
 		}

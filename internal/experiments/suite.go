@@ -3,11 +3,21 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"nearspan/internal/congest"
 )
 
 // Suite runs the full experiment set — the content of EXPERIMENTS.md —
-// writing the report to w.
-func Suite(w io.Writer, cfgs []Config) error {
+// writing the report to w. The engine is the suite-wide CONGEST engine
+// selection (zero = sequential); it fills in for configs that do not set
+// their own and drives the scaling experiments. Engine choice never
+// changes a measured round count or spanner, only wall-clock time.
+func Suite(w io.Writer, cfgs []Config, engine congest.Engine) error {
+	for i := range cfgs {
+		if cfgs[i].Engine == 0 {
+			cfgs[i].Engine = engine
+		}
+	}
 	fmt.Fprintf(w, "=== Near-Additive Spanners in Deterministic CONGEST — experiment report ===\n\n")
 
 	fmt.Fprintf(w, "--- Table 1: deterministic CONGEST algorithms ---\n\n")
@@ -38,7 +48,7 @@ func Suite(w io.Writer, cfgs []Config) error {
 	}
 
 	fmt.Fprintf(w, "--- Round scaling ---\n\n")
-	if err := RoundScaling(w); err != nil {
+	if err := RoundScaling(w, engine); err != nil {
 		return fmt.Errorf("round scaling: %w", err)
 	}
 

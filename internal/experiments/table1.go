@@ -21,7 +21,7 @@ func Table1(w io.Writer, cfgs []Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed})
+		res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
 		if err != nil {
 			return err
 		}

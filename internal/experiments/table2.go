@@ -80,7 +80,7 @@ func Table2(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed})
+	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
 	if err != nil {
 		return err
 	}

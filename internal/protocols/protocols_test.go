@@ -82,13 +82,16 @@ func TestBFSForestEnginesAgree(t *testing.T) {
 	g := gen.GNP(60, 0.08, 7, true)
 	isRoot := func(v int) bool { return v%11 == 0 }
 	simSeq := runSim(t, g, NewBFSForest(isRoot, 6), ForestRounds(6), congest.EngineSequential)
-	simGor := runSim(t, g, NewBFSForest(isRoot, 6), ForestRounds(6), congest.EngineGoroutine)
-	defer simGor.Close()
-	a, b := ExtractForest(simSeq), ExtractForest(simGor)
-	for v := 0; v < g.N(); v++ {
-		if a.Dist[v] != b.Dist[v] || a.Root[v] != b.Root[v] || a.ParentPort[v] != b.ParentPort[v] {
-			t.Errorf("v%d: engines disagree: %+v vs %+v",
-				v, []any{a.Dist[v], a.Root[v], a.ParentPort[v]}, []any{b.Dist[v], b.Root[v], b.ParentPort[v]})
+	a := ExtractForest(simSeq)
+	for _, eng := range []congest.Engine{congest.EngineGoroutine, congest.EngineParallel} {
+		sim := runSim(t, g, NewBFSForest(isRoot, 6), ForestRounds(6), eng)
+		b := ExtractForest(sim)
+		sim.Close()
+		for v := 0; v < g.N(); v++ {
+			if a.Dist[v] != b.Dist[v] || a.Root[v] != b.Root[v] || a.ParentPort[v] != b.ParentPort[v] {
+				t.Errorf("%s v%d: engines disagree: %+v vs %+v", eng,
+					v, []any{a.Dist[v], a.Root[v], a.ParentPort[v]}, []any{b.Dist[v], b.Root[v], b.ParentPort[v]})
+			}
 		}
 	}
 }
@@ -167,14 +170,16 @@ func TestNearNeighborsEnginesAgree(t *testing.T) {
 	g := gen.Grid(7, 7)
 	centers := nnCenters(g, 3)
 	a := runNN(t, g, centers, 3, 4, congest.EngineSequential)
-	b := runNN(t, g, centers, 3, 4, congest.EngineGoroutine)
-	for v := 0; v < g.N(); v++ {
-		if len(a.Known[v]) != len(b.Known[v]) || a.Popular[v] != b.Popular[v] {
-			t.Fatalf("v%d: engines disagree", v)
-		}
-		for c, d := range a.Known[v] {
-			if b.Known[v][c] != d || b.Via[v][c] != a.Via[v][c] {
-				t.Errorf("v%d center %d: engines disagree", v, c)
+	for _, eng := range []congest.Engine{congest.EngineGoroutine, congest.EngineParallel} {
+		b := runNN(t, g, centers, 3, 4, eng)
+		for v := 0; v < g.N(); v++ {
+			if len(a.Known[v]) != len(b.Known[v]) || a.Popular[v] != b.Popular[v] {
+				t.Fatalf("%s v%d: engines disagree", eng, v)
+			}
+			for c, d := range a.Known[v] {
+				if b.Known[v][c] != d || b.Via[v][c] != a.Via[v][c] {
+					t.Errorf("%s v%d center %d: engines disagree", eng, v, c)
+				}
 			}
 		}
 	}
@@ -362,13 +367,15 @@ func TestRulingSetEnginesAgree(t *testing.T) {
 	g := gen.Torus(6, 6)
 	members := nnCenters(g, 1)
 	a := runRulingSet(t, g, members, 3, 2, congest.EngineSequential)
-	b := runRulingSet(t, g, members, 3, 2, congest.EngineGoroutine)
-	if len(a) != len(b) {
-		t.Fatalf("engines disagree: %v vs %v", a, b)
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("engines disagree: %v vs %v", a, b)
+	for _, eng := range []congest.Engine{congest.EngineGoroutine, congest.EngineParallel} {
+		b := runRulingSet(t, g, members, 3, 2, eng)
+		if len(a) != len(b) {
+			t.Fatalf("%s: engines disagree: %v vs %v", eng, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: engines disagree: %v vs %v", eng, a, b)
+			}
 		}
 	}
 }

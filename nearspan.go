@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"nearspan/internal/baseline"
+	"nearspan/internal/congest"
 	"nearspan/internal/core"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
@@ -72,6 +73,31 @@ const (
 	DistributedMode = core.ModeDistributed
 )
 
+// Engine selects the CONGEST simulator execution engine used by
+// DistributedMode. All engines are deterministic and produce the
+// bit-identical spanner, round count, and message count; they differ
+// only in wall-clock speed.
+type Engine = congest.Engine
+
+// The available engines:
+//
+//   - EngineSequential: single-threaded round loop (the default).
+//   - EngineParallel: vertex shards fanned out to a fixed worker pool
+//     sized to GOMAXPROCS — the engine for large graphs on multi-core
+//     hardware.
+//   - EngineGoroutine: one goroutine per graph vertex — the literal
+//     message-passing-processors rendering, for model-fidelity
+//     cross-checks; impractical beyond small graphs.
+const (
+	EngineSequential = congest.EngineSequential
+	EngineParallel   = congest.EngineParallel
+	EngineGoroutine  = congest.EngineGoroutine
+)
+
+// ParseEngine parses an engine name ("sequential", "parallel",
+// "goroutine") as printed by Engine.String — for CLI flags.
+func ParseEngine(name string) (Engine, error) { return congest.ParseEngine(name) }
+
 // Config configures BuildSpanner.
 type Config struct {
 	// Eps is the paper's internal ε (0 < ε <= 1): the phase distance
@@ -89,8 +115,14 @@ type Config struct {
 	Rho float64
 	// Mode selects the execution backend (default CentralizedMode).
 	Mode Mode
+	// Engine selects the CONGEST simulator engine in DistributedMode:
+	// EngineSequential (default), EngineParallel, or EngineGoroutine.
+	Engine Engine
 	// GoroutineEngine runs the distributed mode with one goroutine per
 	// vertex instead of the sequential round loop.
+	//
+	// Deprecated: set Engine to EngineGoroutine instead. Ignored when
+	// Engine is non-zero.
 	GoroutineEngine bool
 	// KeepClusters retains per-phase cluster collections in the result.
 	KeepClusters bool
@@ -112,10 +144,22 @@ func BuildSpanner(g *Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return core.Build(g, p, core.Options{
-		Mode:            cfg.Mode,
-		GoroutineEngine: cfg.GoroutineEngine,
-		KeepClusters:    cfg.KeepClusters,
+		Mode:         cfg.Mode,
+		Engine:       cfg.engine(),
+		KeepClusters: cfg.KeepClusters,
 	})
+}
+
+// engine resolves the Engine selection, honoring the deprecated
+// GoroutineEngine flag when Engine is unset.
+func (cfg Config) engine() Engine {
+	if cfg.Engine != 0 {
+		return cfg.Engine
+	}
+	if cfg.GoroutineEngine {
+		return EngineGoroutine
+	}
+	return EngineSequential
 }
 
 // NewParams exposes the parameter derivation for callers that want to
@@ -133,11 +177,11 @@ func NewParamsWithEstimate(eps float64, kappa int, rho float64, n, nTilde int) (
 
 // BuildSpannerWithParams constructs a spanner under an explicit
 // parameter schedule (e.g. one built with NewParamsWithEstimate).
-func BuildSpannerWithParams(g *Graph, p *Params, mode Mode, goroutineEngine, keepClusters bool) (*Result, error) {
+func BuildSpannerWithParams(g *Graph, p *Params, mode Mode, engine Engine, keepClusters bool) (*Result, error) {
 	return core.Build(g, p, core.Options{
-		Mode:            mode,
-		GoroutineEngine: goroutineEngine,
-		KeepClusters:    keepClusters,
+		Mode:         mode,
+		Engine:       engine,
+		KeepClusters: keepClusters,
 	})
 }
 

@@ -1,0 +1,26 @@
+package nearspan
+
+import "testing"
+
+// The engine-resolution contract of the GoroutineEngine → Engine
+// migration. This is deliberately white-box: every engine produces the
+// identical spanner and round count by design, so no output-based test
+// can distinguish a broken alias from a working one.
+func TestConfigEngineResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want Engine
+	}{
+		{"zero value", Config{}, EngineSequential},
+		{"deprecated alias honored", Config{GoroutineEngine: true}, EngineGoroutine},
+		{"enum selected", Config{Engine: EngineParallel}, EngineParallel},
+		{"enum wins over alias", Config{Engine: EngineParallel, GoroutineEngine: true}, EngineParallel},
+		{"explicit sequential wins over alias", Config{Engine: EngineSequential, GoroutineEngine: true}, EngineSequential},
+	}
+	for _, c := range cases {
+		if got := c.cfg.engine(); got != c.want {
+			t.Errorf("%s: engine() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
