@@ -246,6 +246,71 @@ func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, congest.EngineSequ
 func BenchmarkEngineGoroutine(b *testing.B)  { benchEngine(b, congest.EngineGoroutine) }
 func BenchmarkEngineParallel(b *testing.B)   { benchEngine(b, congest.EngineParallel) }
 
+// --- Persistent network runtime ---
+
+// BenchmarkNetworkReuse quantifies what the persistent network runtime
+// removes: the per-step simulator construction (O(m·B) message arenas +
+// twin table) and engine pool start/teardown that the pre-session world
+// paid for every protocol step. "per-step-sim" builds and closes a
+// fresh simulator for each of the three fixed-schedule protocol steps
+// of a phase; "persistent-network" attaches the same three steps as
+// sessions to one long-lived network (constructed outside the timed
+// loop, as core.Build constructs one per spanner build). Compare
+// allocations per op between the two modes on each engine.
+func BenchmarkNetworkReuse(b *testing.B) {
+	g := gen.Torus(24, 24)
+	isCenter := func(v int) bool { return v%3 == 0 }
+	deg, delta := 4, int32(4)
+	q, c := int32(2), 3
+
+	for _, eng := range congest.Engines() {
+		opts := congest.Options{Engine: eng}
+		b.Run("per-step-sim/"+eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runs := []struct {
+					factory func(v int) congest.Program
+					rounds  int
+				}{
+					{protocols.NewNearNeighbors(isCenter, deg, delta), protocols.NearNeighborsRounds(deg, delta)},
+					{protocols.NewRulingSet(isCenter, q, c, g.N()), protocols.RulingSetRounds(q, c, g.N())},
+					{protocols.NewBFSForest(func(v int) bool { return v == 0 }, 6), protocols.ForestRounds(6)},
+				}
+				for _, r := range runs {
+					sim, err := congest.NewUniform(g, r.factory, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sim.Run(r.rounds); err != nil {
+						b.Fatal(err)
+					}
+					sim.Close()
+				}
+			}
+		})
+		b.Run("persistent-network/"+eng.String(), func(b *testing.B) {
+			net, err := protocols.NewNetwork(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := protocols.RunNearNeighbors(net, i, isCenter, deg, delta); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := protocols.RunRulingSet(net, i, isCenter, q, c, g.N()); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := protocols.RunForest(net, i, func(v int) bool { return v == 0 }, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- CONGEST engine comparison on the full construction ---
 
 // BenchmarkEngineComparison runs the complete distributed construction

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"nearspan"
 	"nearspan/internal/experiments"
 )
 
@@ -21,11 +22,20 @@ func main() {
 		eps     = flag.Float64("eps", def.Eps, "internal epsilon")
 		kappa   = flag.Int("kappa", def.Kappa, "kappa")
 		rho     = flag.Float64("rho", def.Rho, "rho")
+		engine  = flag.String("engine", "", "run the figure build distributedly on this CONGEST engine (sequential|parallel|goroutine); empty = fast centralized build")
 	)
 	flag.Parse()
 	fc := experiments.FigureConfig{
 		Rows: *rows, Cols: *cols, Tails: *tails, TailLen: *tailLen,
 		Eps: *eps, Kappa: *kappa, Rho: *rho,
+	}
+	if *engine != "" {
+		eng, err := nearspan.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fc.Engine = eng
 	}
 	if err := experiments.Figures(os.Stdout, fc); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)

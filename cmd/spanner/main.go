@@ -18,6 +18,7 @@ import (
 
 	"nearspan"
 	"nearspan/internal/stats"
+	"nearspan/internal/trace"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 		engine = flag.String("engine", "sequential", "CONGEST engine for distributed mode: sequential|parallel|goroutine")
 		verify = flag.Bool("verify", true, "verify the stretch bound exactly (O(n(m_G+m_H)))")
 		csv    = flag.Bool("csv", false, "emit phase table as CSV")
+		phases = flag.Bool("phases", false, "print the per-phase protocol-step breakdown (rounds, messages, peak round traffic)")
 	)
 	flag.Parse()
 
@@ -112,6 +114,15 @@ func run() error {
 		t.CSV(os.Stdout)
 	} else {
 		t.Render(os.Stdout)
+	}
+
+	if *phases {
+		fmt.Printf("\nper-phase protocol steps")
+		if cfg.Mode != nearspan.DistributedMode {
+			fmt.Printf(" (centralized mode: schedule budgets, no messages)")
+		}
+		fmt.Println(":")
+		fmt.Print(trace.StepTable(res.Steps))
 	}
 
 	if *verify {

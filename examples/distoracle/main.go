@@ -20,9 +20,12 @@ func main() {
 	g := nearspan.GNP(1500, 0.04, 77, true)
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
 
+	// Preprocess on the real CONGEST protocol stack, with the parallel
+	// engine driving the simulator across all cores.
 	start := time.Now()
 	o, err := nearspan.NewDistanceOracle(g, nearspan.OracleOptions{
 		Eps: 1.0 / 3, Kappa: 3, Rho: 0.49, CacheSources: 64,
+		Mode: nearspan.DistributedMode, Engine: nearspan.EngineParallel,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nearspan/internal/graph"
 )
@@ -194,11 +195,21 @@ type Simulator struct {
 	pool    *shardPool  // lazily started for EngineParallel
 }
 
+// created counts Simulator constructions process-wide. It exists for
+// tests that assert a caller reuses one simulator (via Reset) instead of
+// constructing one per protocol step.
+var created atomic.Int64
+
+// Created returns the number of simulators constructed by New (and
+// NewUniform) since process start.
+func Created() int64 { return created.Load() }
+
 // New creates a simulator running progs[v] at vertex v.
 func New(g *graph.Graph, progs []Program, opts Options) (*Simulator, error) {
 	if len(progs) != g.N() {
 		return nil, fmt.Errorf("congest: %d programs for %d vertices", len(progs), g.N())
 	}
+	created.Add(1)
 	opts = opts.withDefaults()
 	s := &Simulator{g: g, opts: opts, progs: progs}
 	nSlots := 0
@@ -237,7 +248,83 @@ func NewUniform(g *graph.Graph, factory func(v int) Program, opts Options) (*Sim
 	return New(g, progs, opts)
 }
 
-// Metrics returns execution statistics so far.
+// Reset swaps in new per-vertex programs and rewinds the simulator to
+// its pre-Init state while retaining every piece of graph-derived
+// machinery: the twin table, the cur/next message arenas, the env
+// slices, and — crucially — the already-started goroutine and shard
+// worker pools. A sequence of protocols on the same topology therefore
+// pays the O(m·Bandwidth) construction and pool-start cost exactly
+// once.
+//
+// Metrics, the round counter, the halted flags, any recorded violation,
+// and any still-buffered messages are cleared: after Reset the
+// simulator behaves exactly as a freshly constructed one (tested), so
+// determinism is preserved — the new programs observe no trace of the
+// previous run. Callers that must not lose in-flight messages silently
+// should check Pending before resetting (protocols.Session does).
+//
+// Reset must not be called concurrently with Run; between runs the pool
+// workers are parked on their start channels, and the next round's
+// channel send orders Reset's writes before any worker reads them.
+func (s *Simulator) Reset(progs []Program) error {
+	if len(progs) != s.g.N() {
+		return fmt.Errorf("congest: %d programs for %d vertices", len(progs), s.g.N())
+	}
+	copy(s.progs, progs)
+	s.reset()
+	return nil
+}
+
+// ResetUniform is Reset with every vertex running factory(v). It writes
+// into the retained program slice, so a reset allocates no per-vertex
+// bookkeeping beyond the programs themselves.
+func (s *Simulator) ResetUniform(factory func(v int) Program) {
+	for v := range s.progs {
+		s.progs[v] = factory(v)
+	}
+	s.reset()
+}
+
+func (s *Simulator) reset() {
+	s.round = 0
+	s.metrics = Metrics{}
+	for i := range s.halted {
+		s.halted[i] = false
+	}
+	for i := range s.curCounts {
+		s.curCounts[i] = 0
+	}
+	for i := range s.nxCounts {
+		s.nxCounts[i] = 0
+	}
+	s.violMu.Lock()
+	s.firstViolation = nil
+	s.violRound, s.violVertex = 0, 0
+	s.violMu.Unlock()
+}
+
+// Pending returns the number of messages currently buffered for
+// delivery in the next round, broken down by message kind. After a
+// protocol has consumed its full round schedule this should be zero: a
+// nonzero count means the schedule was under-budgeted (kinds owned by
+// the protocol) or a previous run on a reused simulator leaked traffic
+// (foreign kinds). The map is nil when nothing is pending.
+func (s *Simulator) Pending() (total int, byKind map[uint8]int) {
+	b := s.opts.Bandwidth
+	for slot, c := range s.curCounts {
+		for k := 0; k < int(c); k++ {
+			if byKind == nil {
+				byKind = make(map[uint8]int)
+			}
+			byKind[s.cur[slot*b+k].Kind]++
+			total++
+		}
+	}
+	return total, byKind
+}
+
+// Metrics returns execution statistics since construction or the last
+// Reset.
 func (s *Simulator) Metrics() Metrics { return s.metrics }
 
 // Round returns the number of rounds executed so far.

@@ -91,7 +91,8 @@ func (s *Simulator) stepGoroutine() {
 // Close releases the worker goroutines of the goroutine and parallel
 // engines. It is a no-op for the sequential engine and safe to call
 // multiple times. Always call it (e.g. via defer) after running with
-// EngineGoroutine or EngineParallel.
+// EngineGoroutine or EngineParallel. A closed simulator must not be
+// run (or Reset and run) again: its pools are gone for good.
 func (s *Simulator) Close() {
 	if s.workers != nil {
 		s.workers.closeOnce.Do(func() {

@@ -1,0 +1,156 @@
+package congest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"nearspan/internal/gen"
+)
+
+// A reused simulator must be indistinguishable from a fresh one: after
+// Reset, a different protocol on the same topology produces bit-identical
+// histories and metrics on every engine.
+func TestResetMatchesFreshRun(t *testing.T) {
+	g := gen.GNP(60, 0.08, 11, true)
+	for _, opts := range []Options{
+		{Engine: EngineSequential},
+		{Engine: EngineGoroutine},
+		{Engine: EngineParallel},
+		{Engine: EngineParallel, Workers: 3},
+	} {
+		fresh, freshM := runGossip(t, g, opts, 12)
+
+		sim, err := NewUniform(g, newFlood(0), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+			t.Fatal(err)
+		}
+		sim.ResetUniform(func(v int) Program { return &gossipProg{horizon: 12} })
+		if err := sim.Run(13); err != nil {
+			t.Fatal(err)
+		}
+		if sim.Metrics() != freshM {
+			t.Errorf("%s: reused metrics %+v, fresh %+v", opts.Engine, sim.Metrics(), freshM)
+		}
+		for v := 0; v < g.N(); v++ {
+			got := sim.Program(v).(*gossipProg).history
+			for r := range fresh[v] {
+				if got[r] != fresh[v][r] {
+					t.Errorf("%s vertex %d round %d: reused %d, fresh %d",
+						opts.Engine, v, r, got[r], fresh[v][r])
+				}
+			}
+		}
+		sim.Close()
+	}
+}
+
+// Reset must also rewind a run that ended with a recorded violation and
+// with messages still in flight.
+func TestResetClearsViolationAndPending(t *testing.T) {
+	g := gen.Path(4)
+	sim, err := NewUniform(g, func(v int) Program { return &overSender{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(1); err == nil {
+		t.Fatal("over-sender should violate bandwidth")
+	}
+	sim.ResetUniform(newFlood(0))
+	// Interrupt the flood mid-flight: messages remain pending.
+	if err := sim.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if total, byKind := sim.Pending(); total == 0 || byKind[kindToken] != total {
+		t.Fatalf("expected pending flood tokens, got total=%d byKind=%v", total, byKind)
+	}
+	sim.ResetUniform(newFlood(0))
+	if total, _ := sim.Pending(); total != 0 {
+		t.Fatalf("Reset left %d messages pending", total)
+	}
+	if _, err := sim.RunUntilQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	want := g.BFS(0)
+	for v := 0; v < g.N(); v++ {
+		if int32(sim.Program(v).(*floodProg).dist) != want[v] {
+			t.Errorf("vertex %d: dist %d after reset, want %d",
+				v, sim.Program(v).(*floodProg).dist, want[v])
+		}
+	}
+}
+
+func TestResetProgramCountMismatch(t *testing.T) {
+	g := gen.Path(3)
+	sim, err := NewUniform(g, newFlood(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Reset(make([]Program, 2)); err == nil {
+		t.Error("mismatched program count accepted by Reset")
+	}
+}
+
+func TestCreatedCounterIncrements(t *testing.T) {
+	before := Created()
+	if _, err := NewUniform(gen.Path(3), newFlood(0), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Created() - before; got != 1 {
+		t.Errorf("Created advanced by %d, want 1", got)
+	}
+}
+
+// goroutinesSettle polls until the process goroutine count drops to at
+// most want, tolerating unrelated runtime goroutines that exit
+// asynchronously.
+func goroutinesSettle(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// The worker and shard pools must be started once, survive any number of
+// Resets without spawning replacements, and be fully torn down by Close —
+// the goroutine-leak regression guard for the persistent-network runtime.
+func TestPoolsNotLeakedAcrossResetAndClose(t *testing.T) {
+	g := gen.Grid(5, 5)
+	for _, eng := range []Engine{EngineGoroutine, EngineParallel} {
+		t.Run(eng.String(), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			sim, err := NewUniform(g, newFlood(0), Options{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+				t.Fatal(err)
+			}
+			running := runtime.NumGoroutine()
+			if running <= base {
+				t.Fatalf("no pool goroutines observed (base %d, running %d)", base, running)
+			}
+			for i := 0; i < 5; i++ {
+				sim.ResetUniform(newFlood(i))
+				if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Reset must reuse the pool, not stack new goroutines on top.
+			if after := runtime.NumGoroutine(); after > running {
+				t.Errorf("goroutines grew across Resets: %d -> %d", running, after)
+			}
+			sim.Close()
+			if after := goroutinesSettle(t, base); after > base {
+				t.Errorf("Close leaked goroutines: base %d, after close %d", base, after)
+			}
+		})
+	}
+}

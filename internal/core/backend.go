@@ -6,35 +6,40 @@ import (
 	"nearspan/internal/protocols"
 )
 
-// distributedBackend executes each protocol step on the CONGEST
-// simulator. Round counts are measured; fixed-schedule protocols run for
-// exactly their budget (all vertices know the schedule, §1.3.1), and
-// path climbs run to quiescence.
+// distributedBackend executes each protocol step as a session on one
+// persistent CONGEST network: the simulator (message arenas, twin
+// table, engine worker pools) is constructed exactly once per Build and
+// reused — via congest.Reset — across all phases and steps. Round
+// counts are measured; fixed-schedule protocols run for exactly their
+// budget (all vertices know the schedule, §1.3.1), and path climbs run
+// to quiescence.
 type distributedBackend struct {
-	g      *graph.Graph
-	nEst   int // the vertex-count estimate known to the vertices
-	engine congest.Engine
-	msgs   int64
+	g     *graph.Graph
+	nEst  int // the vertex-count estimate known to the vertices
+	net   *protocols.Network
+	phase int
 }
 
-func (d *distributedBackend) opts() congest.Options {
-	// A zero engine falls through to congest's default (sequential).
-	return congest.Options{Engine: d.engine}
-}
-
-func (d *distributedBackend) messages() int64 { return d.msgs }
-
-func (d *distributedBackend) run(factory func(v int) congest.Program, rounds int) (*congest.Simulator, error) {
-	sim, err := congest.NewUniform(d.g, factory, d.opts())
+func newDistributedBackend(g *graph.Graph, nEst int, opts congest.Options) (*distributedBackend, error) {
+	net, err := protocols.NewNetwork(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := sim.Run(rounds); err != nil {
-		sim.Close()
-		return nil, err
+	return &distributedBackend{g: g, nEst: nEst, net: net}, nil
+}
+
+func (d *distributedBackend) close() { d.net.Close() }
+
+func (d *distributedBackend) beginPhase(i int) { d.phase = i }
+
+func (d *distributedBackend) steps() []protocols.StepMetrics { return d.net.Steps() }
+
+func (d *distributedBackend) messages() int64 {
+	var total int64
+	for _, s := range d.net.Steps() {
+		total += s.Messages
 	}
-	d.msgs += sim.Metrics().Messages
-	return sim, nil
+	return total
 }
 
 func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
@@ -44,6 +49,7 @@ func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) 
 	rounds := protocols.NearNeighborsRounds(deg, delta)
 	if len(centers) == 0 {
 		n := d.g.N()
+		d.net.RecordIdle(d.phase, protocols.StepNearNeighbors, rounds)
 		return protocols.NNResult{
 			Known:   make([]map[int64]int32, n),
 			Via:     make([]map[int64]int, n),
@@ -51,32 +57,24 @@ func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) 
 		}, rounds, nil
 	}
 	isC := membership(d.g.N(), centers)
-	sim, err := d.run(protocols.NewNearNeighbors(func(v int) bool { return isC[v] }, deg, delta), rounds)
-	if err != nil {
-		return protocols.NNResult{}, 0, err
-	}
-	defer sim.Close()
-	return protocols.ExtractNN(sim), rounds, nil
+	return protocols.RunNearNeighbors(d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta)
 }
 
 func (d *distributedBackend) rulingSet(members []int, q int32, c int) ([]int, int, error) {
 	rounds := protocols.RulingSetRounds(q, c, d.nEst)
 	if len(members) == 0 {
+		d.net.RecordIdle(d.phase, protocols.StepRulingSet, rounds)
 		return nil, rounds, nil
 	}
 	isM := membership(d.g.N(), members)
-	sim, err := d.run(protocols.NewRulingSet(func(v int) bool { return isM[v] }, q, c, d.nEst), rounds)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer sim.Close()
-	return protocols.ExtractRulingSet(sim), rounds, nil
+	return protocols.RunRulingSet(d.net, d.phase, func(v int) bool { return isM[v] }, q, c, d.nEst)
 }
 
 func (d *distributedBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
 	rounds := protocols.ForestRounds(depth)
 	if len(roots) == 0 {
 		n := d.g.N()
+		d.net.RecordIdle(d.phase, protocols.StepForest, rounds)
 		res := protocols.ForestResult{
 			Dist:       make([]int32, n),
 			Root:       make([]int64, n),
@@ -90,15 +88,10 @@ func (d *distributedBackend) forest(roots []int, depth int32) (protocols.ForestR
 		return res, rounds, nil
 	}
 	isR := membership(d.g.N(), roots)
-	sim, err := d.run(protocols.NewBFSForest(func(v int) bool { return isR[v] }, depth), rounds)
-	if err != nil {
-		return protocols.ForestResult{}, 0, err
-	}
-	defer sim.Close()
-	return protocols.ExtractForest(sim), rounds, nil
+	return protocols.RunForest(d.net, d.phase, func(v int) bool { return isR[v] }, depth)
 }
 
-func (d *distributedBackend) climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+func (d *distributedBackend) climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
 	any := false
 	for _, s := range start {
 		if len(s) > 0 {
@@ -107,19 +100,10 @@ func (d *distributedBackend) climb(via []map[int64]int, start [][]int64, keysPer
 		}
 	}
 	if !any {
+		d.net.RecordIdle(d.phase, step, 0)
 		return map[protocols.Edge]bool{}, 0, nil
 	}
-	sim, err := congest.NewUniform(d.g, protocols.NewClimb(via, start), d.opts())
-	if err != nil {
-		return nil, 0, err
-	}
-	defer sim.Close()
-	rounds, err := sim.RunUntilQuiet(protocols.ClimbMaxRounds(keysPerVertex, pathLen))
-	if err != nil {
-		return nil, 0, err
-	}
-	d.msgs += sim.Metrics().Messages
-	return protocols.ExtractClimbEdges(sim), rounds, nil
+	return protocols.RunClimb(d.net, d.phase, step, via, start, keysPerVertex, pathLen)
 }
 
 func membership(n int, xs []int) []bool {
@@ -130,25 +114,38 @@ func membership(n int, xs []int) []bool {
 	return m
 }
 
-// centralBackend computes the same outputs with the centralized oracles:
-// identical deterministic decisions, no rounds. Fixed-schedule round
-// budgets are still reported (they are parameter functions, equal to the
-// distributed measurements); climbs report zero rounds.
+// centralBackend computes the same outputs with the centralized
+// oracles: identical deterministic decisions, no rounds. Fixed-schedule
+// round budgets are still reported and recorded as step metrics (they
+// are parameter functions, equal to the distributed measurements);
+// climbs report zero rounds, and no step moves messages.
 type centralBackend struct {
-	g    *graph.Graph
-	nEst int
+	g     *graph.Graph
+	nEst  int
+	phase int
+	rec   []protocols.StepMetrics
+}
+
+func (c *centralBackend) beginPhase(i int) { c.phase = i }
+
+func (c *centralBackend) steps() []protocols.StepMetrics { return c.rec }
+
+func (c *centralBackend) record(step string, rounds int) {
+	c.rec = append(c.rec, protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds})
 }
 
 func (c *centralBackend) messages() int64 { return 0 }
 
 func (c *centralBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
-	return protocols.CentralNearNeighbors(c.g, centers, deg, delta),
-		protocols.NearNeighborsRounds(deg, delta), nil
+	rounds := protocols.NearNeighborsRounds(deg, delta)
+	c.record(protocols.StepNearNeighbors, rounds)
+	return protocols.CentralNearNeighbors(c.g, centers, deg, delta), rounds, nil
 }
 
 func (c *centralBackend) rulingSet(members []int, q int32, cc int) ([]int, int, error) {
-	return protocols.CentralRulingSet(c.g, members, q, cc, c.nEst),
-		protocols.RulingSetRounds(q, cc, c.nEst), nil
+	rounds := protocols.RulingSetRounds(q, cc, c.nEst)
+	c.record(protocols.StepRulingSet, rounds)
+	return protocols.CentralRulingSet(c.g, members, q, cc, c.nEst), rounds, nil
 }
 
 func (c *centralBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
@@ -174,13 +171,15 @@ func (c *centralBackend) forest(roots []int, depth int32) (protocols.ForestResul
 			res.ParentPort[v] = -1
 		}
 	}
-	return res, protocols.ForestRounds(depth), nil
+	rounds := protocols.ForestRounds(depth)
+	c.record(protocols.StepForest, rounds)
+	return res, rounds, nil
 }
 
 // climb walks the pointer chains directly; the per-key visited set
 // reproduces the distributed protocol's forward-once dedupe, so the
 // marked edge set is identical.
-func (c *centralBackend) climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+func (c *centralBackend) climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
 	edges := make(map[protocols.Edge]bool)
 	visited := make(map[int64]map[int]bool) // key -> vertices that forwarded
 	for v := range start {
@@ -203,5 +202,6 @@ func (c *centralBackend) climb(via []map[int64]int, start [][]int64, keysPerVert
 			}
 		}
 	}
+	c.record(step, 0)
 	return edges, 0, nil
 }

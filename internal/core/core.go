@@ -68,6 +68,11 @@ type Options struct {
 	// only); the zero value means congest.EngineSequential. Every
 	// engine produces the identical spanner and round count.
 	Engine congest.Engine
+	// Delivery selects the within-round message delivery order of the
+	// simulator (ModeDistributed only). Correct protocols are
+	// order-independent; running under DeliverPortDescending is an
+	// adversarial-scheduling check of the full phase pipeline.
+	Delivery congest.DeliveryOrder
 	// KeepClusters retains the per-phase cluster collections in the
 	// result for verification and figure rendering (memory-heavy on
 	// large graphs).
@@ -105,6 +110,13 @@ type Result struct {
 	Mode    Mode
 	Phases  []PhaseStats
 
+	// Steps is the per-step metrics stream, one entry per protocol
+	// session in execution order (ℓ+1 phases × up to 5 steps). Within
+	// each phase the step rounds sum to the phase's Rounds(). In
+	// ModeCentralized the entries carry the schedule budgets with zero
+	// messages.
+	Steps []protocols.StepMetrics
+
 	// TotalRounds is the measured CONGEST round count in
 	// ModeDistributed. In ModeCentralized it counts only the
 	// fixed-schedule protocol budgets (Algorithm 1, ruling sets, forest
@@ -127,13 +139,16 @@ func (r *Result) EdgeCount() int { return r.Spanner.M() }
 // backend abstracts the two execution strategies. Round counts returned
 // by the fixed-schedule steps (nearNeighbors, rulingSet, forest) are the
 // protocol budgets in both modes; climb rounds are measured in
-// distributed mode and zero centrally.
+// distributed mode and zero centrally. beginPhase scopes the step
+// metrics each call records; steps returns the accumulated stream.
 type backend interface {
+	beginPhase(i int)
 	nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error)
 	rulingSet(members []int, q int32, c int) ([]int, int, error)
 	forest(roots []int, depth int32) (protocols.ForestResult, int, error)
-	climb(via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
+	climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
 	messages() int64
+	steps() []protocols.StepMetrics
 }
 
 // Build constructs the spanner for g under p.
@@ -149,7 +164,15 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 	case ModeCentralized:
 		bk = &centralBackend{g: g, nEst: p.NEstimate}
 	case ModeDistributed:
-		bk = &distributedBackend{g: g, nEst: p.NEstimate, engine: opts.Engine}
+		// One persistent network for the whole construction: every
+		// phase's protocol steps attach to it as sessions.
+		db, err := newDistributedBackend(g, p.NEstimate,
+			congest.Options{Engine: opts.Engine, Delivery: opts.Delivery})
+		if err != nil {
+			return nil, err
+		}
+		defer db.close()
+		bk = db
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}
@@ -162,6 +185,7 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 		if opts.KeepClusters {
 			res.P = append(res.P, cur)
 		}
+		bk.beginPhase(i)
 		ps := PhaseStats{Index: i, Deg: p.Deg[i], Delta: p.Delta[i], Clusters: cur.Len()}
 		msgsBefore := bk.messages()
 		centers := cur.Centers()
@@ -210,6 +234,7 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 		res.TotalRounds += ps.Rounds()
 	}
 	res.Messages = bk.messages()
+	res.Steps = bk.steps()
 	return res, nil
 }
 
@@ -264,7 +289,7 @@ func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
 			}
 		}
 	}
-	scEdges, scRounds, err := bk.climb(via, start, 1, int(depth))
+	scEdges, scRounds, err := bk.climb(protocols.StepForestPaths, via, start, 1, int(depth))
 	if err != nil {
 		return nil, fmt.Errorf("core: phase %d supercluster paths: %w", i, err)
 	}
@@ -301,7 +326,7 @@ func interconnect(bk backend, g *graph.Graph, centers []int, nn protocols.NNResu
 			maxKeys = len(start[c])
 		}
 	}
-	return bk.climb(via, start, maxKeys, int(delta))
+	return bk.climb(protocols.StepInterconnect, via, start, maxKeys, int(delta))
 }
 
 func addEdges(h map[protocols.Edge]bool, add map[protocols.Edge]bool) int {

@@ -63,6 +63,19 @@ func TestFiguresAllPass(t *testing.T) {
 	}
 }
 
+func TestPhaseBreakdownRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := PhaseBreakdown(&sb, QuickConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"per-phase protocol steps", "near-neighbors", "ruling-set", "phase total", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestClaimsRuns(t *testing.T) {
 	var sb strings.Builder
 	if err := Claims(&sb, QuickConfigs()[0]); err != nil {

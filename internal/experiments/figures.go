@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"nearspan/internal/cluster"
+	"nearspan/internal/congest"
 	"nearspan/internal/core"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
@@ -27,6 +28,11 @@ type FigureConfig struct {
 	Eps            float64
 	Kappa          int
 	Rho            float64
+	// Engine, when nonzero, runs the figure build on the distributed
+	// backend with that CONGEST engine (the report then includes the
+	// measured rounds); zero keeps the fast centralized build. Both
+	// produce the identical spanner, so every figure is unchanged.
+	Engine congest.Engine
 }
 
 // DefaultFigureConfig returns the standard figure workload: deg_0 = 3,
@@ -72,12 +78,21 @@ func Figures(w io.Writer, fc FigureConfig) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(g, p, core.Options{Mode: core.ModeCentralized, KeepClusters: true})
+	mode := core.ModeCentralized
+	if fc.Engine != 0 {
+		mode = core.ModeDistributed
+	}
+	res, err := core.Build(g, p, core.Options{Mode: mode, Engine: fc.Engine, KeepClusters: true})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Figure workload: %dx%d grid + %d tails of length %d, %s\n\n",
+	fmt.Fprintf(w, "Figure workload: %dx%d grid + %d tails of length %d, %s\n",
 		fc.Rows, fc.Cols, fc.Tails, fc.TailLen, p)
+	if mode == core.ModeDistributed {
+		fmt.Fprintf(w, "built on the CONGEST %s engine: %d rounds, %d messages\n",
+			fc.Engine, res.TotalRounds, res.Messages)
+	}
+	fmt.Fprintln(w)
 
 	// Recompute phase-0 internals for the renderings.
 	centers := res.P[0].Centers()

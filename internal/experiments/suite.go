@@ -25,13 +25,22 @@ func Suite(w io.Writer, cfgs []Config, engine congest.Engine) error {
 		return fmt.Errorf("table 1: %w", err)
 	}
 
+	fmt.Fprintf(w, "--- Per-phase round breakdown (persistent-network sessions) ---\n\n")
+	for _, cfg := range cfgs[:minInt(2, len(cfgs))] {
+		if err := PhaseBreakdown(w, cfg); err != nil {
+			return fmt.Errorf("phase breakdown(%s): %w", cfg.Name, err)
+		}
+	}
+
 	fmt.Fprintf(w, "--- Table 2: near-additive spanner panorama ---\n\n")
 	if err := Table2(w, cfgs[0]); err != nil {
 		return fmt.Errorf("table 2: %w", err)
 	}
 
 	fmt.Fprintf(w, "--- Figures 1-8: structural experiments ---\n\n")
-	if err := Figures(w, DefaultFigureConfig()); err != nil {
+	fcfg := DefaultFigureConfig()
+	fcfg.Engine = engine // nonzero: figure build runs on the distributed backend
+	if err := Figures(w, fcfg); err != nil {
 		return fmt.Errorf("figures: %w", err)
 	}
 

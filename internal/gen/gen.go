@@ -136,14 +136,22 @@ func RandomTree(n int, seed uint64) *graph.Graph {
 func GNP(n int, p float64, seed uint64, ensureConnected bool) *graph.Graph {
 	r := rng.New(seed)
 	b := graph.NewBuilder(n)
+	// The only edges present before the pair sweep are the spanning-tree
+	// edges; remembering each vertex's tree parent makes the per-pair
+	// duplicate check O(1) without consulting the builder.
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+	}
 	if ensureConnected {
 		for v := 1; v < n; v++ {
-			mustAdd(b, v, r.Intn(v))
+			parent[v] = r.Intn(v)
+			mustAdd(b, v, parent[v])
 		}
 	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			if b.HasEdge(u, v) {
+			if parent[v] == u {
 				continue
 			}
 			if r.Float64() < p {
@@ -298,19 +306,29 @@ func Communities(k, commSize int, pIn, pOut float64, seed uint64) *graph.Graph {
 	r := rng.New(seed)
 	b := graph.NewBuilder(n)
 	comm := func(v int) int { return v / commSize }
-	// Connectivity backbone.
+	// Connectivity backbone: an in-community parent per vertex plus one
+	// bridge between consecutive community anchors. As in GNP, tracking
+	// the parents directly keeps the pair sweep free of builder lookups.
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+	}
 	for v := 0; v < n; v++ {
 		if v%commSize != 0 {
 			base := comm(v) * commSize
-			mustAdd(b, v, base+r.Intn(v%commSize))
+			parent[v] = base + r.Intn(v%commSize)
+			mustAdd(b, v, parent[v])
 		}
 	}
 	for c := 1; c < k; c++ {
 		mustAdd(b, (c-1)*commSize, c*commSize)
 	}
+	isBridge := func(u, v int) bool { // u < v; bridges join consecutive anchors
+		return u%commSize == 0 && v-u == commSize
+	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			if b.HasEdge(u, v) {
+			if parent[v] == u || isBridge(u, v) {
 				continue
 			}
 			p := pOut
@@ -371,7 +389,9 @@ func RandomGeometric(n int, radius float64, seed uint64, ensureConnected bool) *
 					best, bestD = j, d
 				}
 			}
-			if best >= 0 && !b.HasEdge(i, best) {
+			// The radius sweep above added {i, best} already iff the pair
+			// is within radius, so the distance itself is the dedupe test.
+			if best >= 0 && bestD > r2 {
 				mustAdd(b, i, best)
 			}
 		}

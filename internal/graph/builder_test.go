@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"testing"
+)
+
+// Exercise the sorted-run machinery well past the buffer limit:
+// duplicates must be rejected whether the original copy sits in the
+// unsorted buffer, a small run, or a run that has been merged several
+// times, and the built graph must contain exactly the accepted edges.
+func TestBuilderDedupAcrossRunBoundaries(t *testing.T) {
+	const n = 100
+	b := NewBuilder(n)
+	type edge struct{ u, v int }
+	var added []edge
+	// ~2000 edges in a scattered (non-sorted) insertion order: enough
+	// for several flushes and run merges.
+	for step := 1; step <= 45; step++ {
+		for u := 0; u < n; u++ {
+			v := (u + step) % n
+			if u < v {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+				}
+				added = append(added, edge{u, v})
+			}
+		}
+	}
+	if b.NumEdges() != len(added) {
+		t.Fatalf("NumEdges=%d, added %d", b.NumEdges(), len(added))
+	}
+	// Every added edge is a duplicate now, in both orientations.
+	for _, e := range []edge{added[0], added[len(added)/2], added[len(added)-1]} {
+		if err := b.AddEdge(e.u, e.v); err == nil {
+			t.Errorf("duplicate {%d,%d} accepted", e.u, e.v)
+		}
+		if err := b.AddEdge(e.v, e.u); err == nil {
+			t.Errorf("reversed duplicate {%d,%d} accepted", e.v, e.u)
+		}
+		if !b.HasEdge(e.u, e.v) || !b.HasEdge(e.v, e.u) {
+			t.Errorf("HasEdge(%d,%d) false after add", e.u, e.v)
+		}
+	}
+	// {0,99} only arises as (u=99, v=0), which the u<v filter skipped.
+	if b.HasEdge(0, 99) {
+		t.Error("HasEdge(0,99) true for never-added edge")
+	}
+	g := b.Build()
+	if g.M() != len(added) {
+		t.Fatalf("built graph has %d edges, want %d", g.M(), len(added))
+	}
+	for _, e := range added {
+		if !g.HasEdge(e.u, e.v) {
+			t.Fatalf("built graph missing {%d,%d}", e.u, e.v)
+		}
+	}
+	// The builder stays usable after Build.
+	if err := b.AddEdge(0, 99); err != nil {
+		t.Errorf("post-Build AddEdge failed: %v", err)
+	}
+	if !b.HasEdge(0, 99) {
+		t.Error("post-Build add not visible")
+	}
+}

@@ -16,18 +16,32 @@ import (
 
 // Builder accumulates edges and produces an immutable Graph. The zero
 // value is unusable; construct with NewBuilder.
+//
+// Duplicate detection is sort-based rather than hash-based: edges live
+// in a short unsorted buffer plus a stack of sorted runs of roughly
+// geometric sizes (the classic logarithmic method). Membership is a
+// linear scan of the small buffer plus one binary search per run
+// (O(log² m)), and runs are merged as the buffer flushes, for O(m log m)
+// total build work. Compared to a map[[2]int32]bool seen-set this keeps
+// peak memory at a few compact edge arrays — on million-edge generated
+// workloads the dominant builder cost used to be the hash table.
 type Builder struct {
-	n     int
-	edges [][2]int32
-	seen  map[[2]int32]bool
+	n    int
+	m    int          // total edges added
+	runs [][][2]int32 // sorted, duplicate-free runs; sizes shrink left to right
+	buf  [][2]int32   // recent edges, unsorted, at most builderBufLimit
 }
+
+// builderBufLimit bounds the unsorted tail scanned linearly on every
+// duplicate check; beyond it the buffer is sorted into a run.
+const builderBufLimit = 256
 
 // NewBuilder returns a builder for a graph on n vertices.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		n = 0
 	}
-	return &Builder{n: n, seen: make(map[[2]int32]bool)}
+	return &Builder{n: n}
 }
 
 // AddEdge inserts the undirected edge {u, v}. It returns an error if the
@@ -40,11 +54,14 @@ func (b *Builder) AddEdge(u, v int) error {
 		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
 	}
 	key := normEdge(int32(u), int32(v))
-	if b.seen[key] {
+	if b.contains(key) {
 		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
 	}
-	b.seen[key] = true
-	b.edges = append(b.edges, key)
+	b.buf = append(b.buf, key)
+	b.m++
+	if len(b.buf) >= builderBufLimit {
+		b.flush()
+	}
 	return nil
 }
 
@@ -53,16 +70,88 @@ func (b *Builder) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= b.n || v >= b.n || u == v {
 		return false
 	}
-	return b.seen[normEdge(int32(u), int32(v))]
+	return b.contains(normEdge(int32(u), int32(v)))
+}
+
+func (b *Builder) contains(key [2]int32) bool {
+	for _, e := range b.buf {
+		if e == key {
+			return true
+		}
+	}
+	for _, run := range b.runs {
+		lo, hi := 0, len(run)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if edgeLess(run[mid], key) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(run) && run[lo] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// flush turns the buffer into a sorted run and restores the geometric
+// run-size invariant by merging the smallest runs. AddEdge already
+// rejected duplicates, so merges need no dedupe pass.
+func (b *Builder) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	run := b.buf
+	sort.Slice(run, func(i, j int) bool { return edgeLess(run[i], run[j]) })
+	b.buf = make([][2]int32, 0, builderBufLimit)
+	b.runs = append(b.runs, run)
+	for len(b.runs) >= 2 {
+		a, c := b.runs[len(b.runs)-2], b.runs[len(b.runs)-1]
+		if len(a) > 2*len(c) {
+			break
+		}
+		b.runs = b.runs[:len(b.runs)-2]
+		b.runs = append(b.runs, mergeRuns(a, c))
+	}
+}
+
+func mergeRuns(a, c [][2]int32) [][2]int32 {
+	out := make([][2]int32, 0, len(a)+len(c))
+	i, j := 0, 0
+	for i < len(a) && j < len(c) {
+		if edgeLess(a[i], c[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, c[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, c[j:]...)
+}
+
+func edgeLess(a, c [2]int32) bool {
+	if a[0] != c[0] {
+		return a[0] < c[0]
+	}
+	return a[1] < c[1]
 }
 
 // NumEdges returns the number of edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
+func (b *Builder) NumEdges() int { return b.m }
 
 // Build freezes the builder into an immutable Graph. The builder remains
 // usable afterwards (Build copies).
 func (b *Builder) Build() *Graph {
-	return fromEdges(b.n, b.edges)
+	edges := make([][2]int32, 0, b.m)
+	for _, run := range b.runs {
+		edges = append(edges, run...)
+	}
+	edges = append(edges, b.buf...)
+	return fromEdges(b.n, edges)
 }
 
 func normEdge(u, v int32) [2]int32 {

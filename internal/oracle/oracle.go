@@ -19,6 +19,7 @@ package oracle
 import (
 	"fmt"
 
+	"nearspan/internal/congest"
 	"nearspan/internal/core"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
@@ -45,6 +46,13 @@ type Options struct {
 	Rho   float64
 	// CacheSources bounds the per-source BFS cache (default 16).
 	CacheSources int
+	// Mode selects the spanner construction backend (zero =
+	// centralized, the fast default). Both modes build the identical
+	// spanner; distributed mode additionally exercises the real CONGEST
+	// protocol stack during preprocessing.
+	Mode core.Mode
+	// Engine selects the CONGEST engine when Mode is distributed.
+	Engine congest.Engine
 }
 
 // New preprocesses g into an oracle.
@@ -53,7 +61,7 @@ func New(g *graph.Graph, opts Options) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Build(g, p, core.Options{Mode: core.ModeCentralized})
+	res, err := core.Build(g, p, core.Options{Mode: opts.Mode, Engine: opts.Engine})
 	if err != nil {
 		return nil, err
 	}

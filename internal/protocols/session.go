@@ -1,0 +1,201 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"nearspan/internal/congest"
+	"nearspan/internal/graph"
+)
+
+// Step names, one per protocol step of the construction. They key the
+// per-step metrics and identify sessions in violation reports.
+const (
+	StepNearNeighbors = "near-neighbors"
+	StepRulingSet     = "ruling-set"
+	StepForest        = "forest"
+	StepForestPaths   = "forest-paths"
+	StepInterconnect  = "interconnect"
+)
+
+// StepMetrics records one protocol session's execution on the shared
+// network: which phase and step it was, and what it cost. Rounds for
+// fixed-schedule protocols equal the protocol's budget; for
+// message-driven climbs they are measured.
+type StepMetrics struct {
+	Phase           int
+	Step            string
+	Rounds          int
+	Messages        int64
+	MaxRoundTraffic int64
+}
+
+// Network is a persistent CONGEST runtime: one simulator constructed
+// once per topology and reused — via congest.Reset — by every protocol
+// session run on it. The paper's construction is a sequence of
+// protocols on the same graph (ℓ phases × 4 steps); constructing a
+// simulator per step would reallocate the O(m·Bandwidth) message
+// arenas, the twin table, and restart the engine worker pools every
+// time. A Network pays those costs once and additionally keeps the
+// per-step metrics stream the per-phase accounting is built from.
+//
+// Close releases the engine pools; always call it when done with the
+// concurrent engines.
+type Network struct {
+	sim   *congest.Simulator
+	steps []StepMetrics
+}
+
+// idleProgram occupies vertices of a freshly created network before the
+// first session attaches.
+type idleProgram struct{}
+
+func (idleProgram) Init(env *congest.Env)                          { env.Halt() }
+func (idleProgram) Round(env *congest.Env, recv []congest.Inbound) { env.Halt() }
+
+// NewNetwork constructs the persistent simulator for g.
+func NewNetwork(g *graph.Graph, opts congest.Options) (*Network, error) {
+	sim, err := congest.NewUniform(g, func(int) congest.Program { return idleProgram{} }, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{sim: sim}, nil
+}
+
+// Sim exposes the underlying simulator for result extraction between
+// sessions. The programs it holds are those of the most recent session.
+func (n *Network) Sim() *congest.Simulator { return n.sim }
+
+// Graph returns the network topology.
+func (n *Network) Graph() *graph.Graph { return n.sim.Graph() }
+
+// Steps returns the metrics of every session run so far, in order.
+func (n *Network) Steps() []StepMetrics { return n.steps }
+
+// RecordIdle appends a zero-cost metrics entry for a step that was
+// statically known to move no messages (e.g. an empty center set): the
+// schedule still charges its round budget, but no simulation ran.
+func (n *Network) RecordIdle(phase int, step string, rounds int) {
+	n.steps = append(n.steps, StepMetrics{Phase: phase, Step: step, Rounds: rounds})
+}
+
+// Close releases the simulator's engine pools.
+func (n *Network) Close() { n.sim.Close() }
+
+// Session is one protocol run attached to the network. Each session
+// owns a message-kind namespace: after its rounds complete, any message
+// still in flight is a model violation — its own kind means the
+// protocol under-ran its schedule and would have leaked late messages
+// into the next session, a foreign kind means the protocol sent traffic
+// outside its namespace. Either way the session reports it at its own
+// boundary instead of letting the next protocol silently misread stale
+// messages (the next session's Reset would otherwise just drop them).
+type Session struct {
+	net   *Network
+	phase int
+	step  string
+	kind  uint8
+}
+
+// Session starts a session for the given construction phase and step.
+// kind is the message kind the step's protocol owns.
+func (n *Network) Session(phase int, step string, kind uint8) *Session {
+	return &Session{net: n, phase: phase, step: step, kind: kind}
+}
+
+// Run attaches factory's programs to the network and executes exactly
+// rounds rounds, recording the step metrics.
+func (s *Session) Run(factory func(v int) congest.Program, rounds int) error {
+	s.net.sim.ResetUniform(factory)
+	if err := s.net.sim.Run(rounds); err != nil {
+		return fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
+	}
+	return s.finish()
+}
+
+// RunUntilQuiet attaches factory's programs and executes until
+// quiescence (at most maxRounds), returning the measured round count.
+func (s *Session) RunUntilQuiet(factory func(v int) congest.Program, maxRounds int) (int, error) {
+	s.net.sim.ResetUniform(factory)
+	rounds, err := s.net.sim.RunUntilQuiet(maxRounds)
+	if err != nil {
+		return rounds, fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
+	}
+	return rounds, s.finish()
+}
+
+// finish verifies the session's kind namespace is clean and records its
+// metrics.
+func (s *Session) finish() error {
+	if total, byKind := s.net.sim.Pending(); total > 0 {
+		kinds := make([]int, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, int(k))
+		}
+		sort.Ints(kinds)
+		own := byKind[s.kind]
+		if foreign := total - own; foreign > 0 {
+			return fmt.Errorf("protocols: %s session (phase %d): %d stray message(s) of kinds %v in flight after %d rounds — traffic outside the session's kind namespace (%d)",
+				s.step, s.phase, foreign, kinds, s.net.sim.Round(), s.kind)
+		}
+		return fmt.Errorf("protocols: %s session (phase %d): %d message(s) of own kind %d still in flight after %d rounds — schedule under-budgeted",
+			s.step, s.phase, own, s.kind, s.net.sim.Round())
+	}
+	m := s.net.sim.Metrics()
+	s.net.steps = append(s.net.steps, StepMetrics{
+		Phase:           s.phase,
+		Step:            s.step,
+		Rounds:          m.Rounds,
+		Messages:        m.Messages,
+		MaxRoundTraffic: m.MaxRoundTraffic,
+	})
+	return nil
+}
+
+// The per-step session runners below are the distributed faces of the
+// construction's four protocol steps: each attaches its protocol to the
+// persistent network as one session and extracts the result. They
+// mirror the Central* oracles, which compute identical outputs without
+// round machinery.
+
+// RunNearNeighbors executes Algorithm 1 (popularity detection) as a
+// session and returns the per-vertex result plus the consumed rounds.
+func RunNearNeighbors(net *Network, phase int, isCenter func(v int) bool, deg int, delta int32) (NNResult, int, error) {
+	rounds := NearNeighborsRounds(deg, delta)
+	if err := net.Session(phase, StepNearNeighbors, kindNN).Run(NewNearNeighbors(isCenter, deg, delta), rounds); err != nil {
+		return NNResult{}, 0, err
+	}
+	return ExtractNN(net.sim), rounds, nil
+}
+
+// RunRulingSet executes the deterministic ruling-set protocol as a
+// session and returns the selected set plus the consumed rounds.
+func RunRulingSet(net *Network, phase int, isMember func(v int) bool, q int32, c, n int) ([]int, int, error) {
+	rounds := RulingSetRounds(q, c, n)
+	if err := net.Session(phase, StepRulingSet, kindRulingWave).Run(NewRulingSet(isMember, q, c, n), rounds); err != nil {
+		return nil, 0, err
+	}
+	return ExtractRulingSet(net.sim), rounds, nil
+}
+
+// RunForest grows the bounded-depth BFS forest as a session and returns
+// the per-vertex adoption state plus the consumed rounds.
+func RunForest(net *Network, phase int, isRoot func(v int) bool, depth int32) (ForestResult, int, error) {
+	rounds := ForestRounds(depth)
+	if err := net.Session(phase, StepForest, kindForest).Run(NewBFSForest(isRoot, depth), rounds); err != nil {
+		return ForestResult{}, 0, err
+	}
+	return ExtractForest(net.sim), rounds, nil
+}
+
+// RunClimb traces paths through the via pointers as a message-driven
+// session (step names the use: forest paths or interconnection) and
+// returns the marked edges plus the measured rounds.
+func RunClimb(net *Network, phase int, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[Edge]bool, int, error) {
+	rounds, err := net.Session(phase, step, kindClimb).RunUntilQuiet(
+		NewClimb(via, start), ClimbMaxRounds(keysPerVertex, pathLen))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ExtractClimbEdges(net.sim), rounds, nil
+}

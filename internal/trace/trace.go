@@ -6,10 +6,12 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 
 	"nearspan/internal/cluster"
 	"nearspan/internal/graph"
+	"nearspan/internal/protocols"
 )
 
 // GridClusters renders cluster membership: each cluster gets a letter
@@ -105,4 +107,65 @@ func GridEdges(rows, cols int, h *graph.Graph) string {
 // Legend returns a one-line legend for the cluster rendering.
 func Legend() string {
 	return "uppercase = cluster center, lowercase = member, '.' = unclustered"
+}
+
+// StepTable renders the per-step metrics stream of a construction as an
+// aligned text table, one row per protocol session grouped by phase,
+// with a subtotal row per phase and a grand total. This is the
+// per-phase accounting view the paper's round analysis is stated in
+// (rounds of Algorithm 1, ruling set, forest growth, and path climbs,
+// phase by phase).
+func StepTable(steps []protocols.StepMetrics) string {
+	type row struct{ phase, step, rounds, messages, peak string }
+	rows := []row{{"phase", "step", "rounds", "messages", "max/round"}}
+	add := func(phase, step string, rounds int, msgs, peak int64) {
+		rows = append(rows, row{phase, step,
+			fmt.Sprintf("%d", rounds), fmt.Sprintf("%d", msgs), fmt.Sprintf("%d", peak)})
+	}
+	var totR int
+	var totM, totP int64
+	flushPhase := func(phase, r int, m, p int64) {
+		add(fmt.Sprintf("%d", phase), "· phase total", r, m, p)
+	}
+	curPhase := -1
+	var phR int
+	var phM, phP int64
+	for _, s := range steps {
+		if s.Phase != curPhase {
+			if curPhase >= 0 {
+				flushPhase(curPhase, phR, phM, phP)
+			}
+			curPhase, phR, phM, phP = s.Phase, 0, 0, 0
+		}
+		add(fmt.Sprintf("%d", s.Phase), s.Step, s.Rounds, s.Messages, s.MaxRoundTraffic)
+		phR += s.Rounds
+		phM += s.Messages
+		if s.MaxRoundTraffic > phP {
+			phP = s.MaxRoundTraffic
+		}
+		totR += s.Rounds
+		totM += s.Messages
+		if s.MaxRoundTraffic > totP {
+			totP = s.MaxRoundTraffic
+		}
+	}
+	if curPhase >= 0 {
+		flushPhase(curPhase, phR, phM, phP)
+	}
+	add("", "total", totR, totM, totP)
+
+	w := [5]int{}
+	for _, r := range rows {
+		for i, c := range [5]string{r.phase, r.step, r.rounds, r.messages, r.peak} {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-*s  %-*s  %*s  %*s  %*s\n",
+			w[0], r.phase, w[1], r.step, w[2], r.rounds, w[3], r.messages, w[4], r.peak)
+	}
+	return sb.String()
 }

@@ -7,6 +7,7 @@ import (
 	"nearspan/internal/cluster"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
+	"nearspan/internal/protocols"
 )
 
 func TestGridClusters(t *testing.T) {
@@ -63,6 +64,39 @@ func TestGridEdgesPartial(t *testing.T) {
 func TestLegendNonEmpty(t *testing.T) {
 	if Legend() == "" {
 		t.Error("empty legend")
+	}
+}
+
+func TestStepTable(t *testing.T) {
+	steps := []protocols.StepMetrics{
+		{Phase: 0, Step: protocols.StepNearNeighbors, Rounds: 10, Messages: 100, MaxRoundTraffic: 20},
+		{Phase: 0, Step: protocols.StepInterconnect, Rounds: 5, Messages: 30, MaxRoundTraffic: 9},
+		{Phase: 1, Step: protocols.StepNearNeighbors, Rounds: 7, Messages: 40, MaxRoundTraffic: 8},
+	}
+	out := StepTable(steps)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 3 steps + 2 phase totals + grand total
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"phase", "near-neighbors", "interconnect", "phase total", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Phase 0 subtotal: 15 rounds, 130 messages; grand total 22 / 170.
+	if !strings.Contains(lines[3], "15") || !strings.Contains(lines[3], "130") {
+		t.Errorf("phase 0 total row wrong: %q", lines[3])
+	}
+	if !strings.Contains(lines[6], "22") || !strings.Contains(lines[6], "170") {
+		t.Errorf("grand total row wrong: %q", lines[6])
+	}
+}
+
+func TestStepTableEmpty(t *testing.T) {
+	out := StepTable(nil)
+	if !strings.Contains(out, "total") {
+		t.Errorf("empty table missing total row: %q", out)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"nearspan/internal/graph"
 	"nearspan/internal/oracle"
 	"nearspan/internal/params"
+	"nearspan/internal/protocols"
 	"nearspan/internal/verify"
 )
 
@@ -58,6 +59,11 @@ type Result = core.Result
 
 // PhaseStats records one phase's measurements.
 type PhaseStats = core.PhaseStats
+
+// StepMetrics records one protocol session's rounds, messages, and peak
+// round traffic on the persistent network; Result.Steps holds the
+// stream, one entry per protocol step in execution order.
+type StepMetrics = protocols.StepMetrics
 
 // StretchReport summarizes a stretch verification.
 type StretchReport = verify.StretchReport
