@@ -6,6 +6,8 @@
 package nearspan_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -25,7 +27,7 @@ import (
 func BenchmarkTable1DeterministicCONGEST(b *testing.B) {
 	cfgs := experiments.QuickConfigs()[:1]
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table1(io.Discard, cfgs); err != nil {
+		if err := experiments.Table1(context.Background(), io.Discard, cfgs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,7 +38,7 @@ func BenchmarkTable1DeterministicCONGEST(b *testing.B) {
 func BenchmarkTable2Panorama(b *testing.B) {
 	cfg := experiments.QuickConfigs()[0]
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table2(io.Discard, cfg); err != nil {
+		if err := experiments.Table2(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +51,7 @@ func BenchmarkTable2Panorama(b *testing.B) {
 func BenchmarkFiguresSuite(b *testing.B) {
 	fc := experiments.DefaultFigureConfig()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Figures(io.Discard, fc); err != nil {
+		if err := experiments.Figures(context.Background(), io.Discard, fc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +66,7 @@ func BenchmarkFigure1Superclustering(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Build(g, p, core.Options{KeepClusters: true}); err != nil {
+		if _, err := core.Build(context.Background(), g, p, core.Options{KeepClusters: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,7 +158,7 @@ func BenchmarkFigure6NeighboringClusters(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Build(g, p, core.Options{KeepClusters: true})
+	res, err := core.Build(context.Background(), g, p, core.Options{KeepClusters: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func benchBuild(b *testing.B, n int, mode core.Mode) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Build(g, p, core.Options{Mode: mode}); err != nil {
+		if _, err := core.Build(context.Background(), g, p, core.Options{Mode: mode}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,13 +299,13 @@ func BenchmarkNetworkReuse(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := protocols.RunNearNeighbors(net, i, isCenter, deg, delta); err != nil {
+				if _, _, err := protocols.RunNearNeighbors(context.Background(), net, i, isCenter, deg, delta); err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := protocols.RunRulingSet(net, i, isCenter, q, c, g.N()); err != nil {
+				if _, _, err := protocols.RunRulingSet(context.Background(), net, i, isCenter, q, c, g.N()); err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := protocols.RunForest(net, i, func(v int) bool { return v == 0 }, 6); err != nil {
+				if _, _, err := protocols.RunForest(context.Background(), net, i, func(v int) bool { return v == 0 }, 6); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -341,7 +343,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 		for _, eng := range congest.Engines() {
 			b.Run(wl.name+"/"+eng.String(), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Build(wl.g, p, core.Options{
+					if _, err := core.Build(context.Background(), wl.g, p, core.Options{
 						Mode: core.ModeDistributed, Engine: eng,
 					}); err != nil {
 						b.Fatal(err)
@@ -350,6 +352,48 @@ func BenchmarkEngineComparison(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Shared execution runtime ---
+
+// BenchmarkBatchBuild compares a sequential loop of distributed builds
+// against BuildBatch fanning the same eight jobs over the shared
+// execution runtime. Each build runs the single-threaded sequential
+// engine, so the batch's win is pure cross-build concurrency: on an
+// N-core runner the batch should approach min(N, 8)x. Outputs are
+// bit-identical either way (asserted in the test suite, not here).
+func BenchmarkBatchBuild(b *testing.B) {
+	cfg := nearspan.Config{Eps: 1.0 / 3, Kappa: 3, Rho: 0.49, Mode: nearspan.DistributedMode}
+	var jobs []nearspan.BuildJob
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, nearspan.BuildJob{
+			Name:   fmt.Sprintf("gnp-%d", i),
+			Graph:  gen.GNP(256, 16.0/256, uint64(10+i), true),
+			Config: cfg,
+		})
+	}
+	b.Run("sequential-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := nearspan.BuildSpanner(j.Graph, j.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			outs, err := nearspan.BuildBatch(context.Background(), jobs, nearspan.BatchOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, out := range outs {
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+			}
+		}
+	})
 }
 
 // --- Ablation benches ---
@@ -365,7 +409,7 @@ func BenchmarkAblationRulingSetVsSampling(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Build(cfg.Graph, p, core.Options{}); err != nil {
+			if _, err := core.Build(context.Background(), cfg.Graph, p, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

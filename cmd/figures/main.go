@@ -4,9 +4,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nearspan"
 	"nearspan/internal/experiments"
@@ -23,6 +27,7 @@ func main() {
 		kappa   = flag.Int("kappa", def.Kappa, "kappa")
 		rho     = flag.Float64("rho", def.Rho, "rho")
 		engine  = flag.String("engine", "", "run the figure build distributedly on this CONGEST engine (sequential|parallel|goroutine); empty = fast centralized build")
+		timeout = flag.Duration("timeout", 0, "abort the figure build after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	fc := experiments.FigureConfig{
@@ -37,7 +42,18 @@ func main() {
 		}
 		fc.Engine = eng
 	}
-	if err := experiments.Figures(os.Stdout, fc); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := experiments.Figures(ctx, os.Stdout, fc); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "figures: interrupted (%v) — no figure output was truncated mid-section\n", err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}

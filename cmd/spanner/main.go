@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nearspan"
 	"nearspan/internal/stats"
@@ -23,6 +27,10 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "spanner: interrupted (%v) — no partial spanner is ever emitted\n", err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "spanner: %v\n", err)
 		os.Exit(1)
 	}
@@ -30,21 +38,32 @@ func main() {
 
 func run() error {
 	var (
-		family = flag.String("graph", "gnp", "workload family: gnp|grid|torus|communities|regular|pa|hypercube|path")
-		input  = flag.String("input", "", "read the graph from an edge-list file instead of generating (header 'n m', one 'u v' per line)")
-		n      = flag.Int("n", 400, "number of vertices (rounded to the family's shape)")
-		p      = flag.Float64("p", 0.03, "edge probability for gnp")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		eps    = flag.Float64("eps", 1.0/3, "internal epsilon (0 < eps <= 1)")
-		kappa  = flag.Int("kappa", 3, "size exponent kappa (>= 2)")
-		rho    = flag.Float64("rho", 0.49, "round exponent rho (1/kappa <= rho < 1/2)")
-		mode   = flag.String("mode", "centralized", "execution mode: centralized|distributed (goroutine is a deprecated alias for distributed -engine goroutine)")
-		engine = flag.String("engine", "sequential", "CONGEST engine for distributed mode: sequential|parallel|goroutine")
-		verify = flag.Bool("verify", true, "verify the stretch bound exactly (O(n(m_G+m_H)))")
-		csv    = flag.Bool("csv", false, "emit phase table as CSV")
-		phases = flag.Bool("phases", false, "print the per-phase protocol-step breakdown (rounds, messages, peak round traffic)")
+		family  = flag.String("graph", "gnp", "workload family: gnp|grid|torus|communities|regular|pa|hypercube|path")
+		input   = flag.String("input", "", "read the graph from an edge-list file instead of generating (header 'n m', one 'u v' per line)")
+		n       = flag.Int("n", 400, "number of vertices (rounded to the family's shape)")
+		p       = flag.Float64("p", 0.03, "edge probability for gnp")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		eps     = flag.Float64("eps", 1.0/3, "internal epsilon (0 < eps <= 1)")
+		kappa   = flag.Int("kappa", 3, "size exponent kappa (>= 2)")
+		rho     = flag.Float64("rho", 0.49, "round exponent rho (1/kappa <= rho < 1/2)")
+		mode    = flag.String("mode", "centralized", "execution mode: centralized|distributed (goroutine is a deprecated alias for distributed -engine goroutine)")
+		engine  = flag.String("engine", "sequential", "CONGEST engine for distributed mode: sequential|parallel|goroutine")
+		verify  = flag.Bool("verify", true, "verify the stretch bound exactly (O(n(m_G+m_H)))")
+		csv     = flag.Bool("csv", false, "emit phase table as CSV")
+		phases  = flag.Bool("phases", false, "print the per-phase protocol-step breakdown (rounds, messages, peak round traffic)")
+		timeout = flag.Duration("timeout", 0, "abort the build after this duration (0 = no limit); cancellation lands at a round boundary")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the build at the next simulated round boundary —
+	// the construction aborts cleanly instead of dying mid-round.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var g *nearspan.Graph
 	var err error
@@ -83,7 +102,7 @@ func run() error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	res, err := nearspan.BuildSpanner(g, cfg)
+	res, err := nearspan.BuildSpannerContext(ctx, g, cfg)
 	if err != nil {
 		return err
 	}

@@ -7,9 +7,10 @@
 //
 //   - EngineSequential: a single-threaded round loop — the reference
 //     execution.
-//   - EngineParallel: vertices partitioned into shards fanned out to a
-//     fixed worker pool each round — uses all cores, the engine for
-//     large experiments.
+//   - EngineParallel: vertices partitioned into shards multiplexed onto
+//     the shared execution runtime (package sched) each round — uses all
+//     cores, the engine for large experiments; any number of concurrent
+//     simulators share one bounded worker pool.
 //   - EngineGoroutine: one goroutine per vertex with channel-based round
 //     barriers — the natural Go rendering of message-passing processors,
 //     used to demonstrate and cross-check model fidelity.
@@ -27,12 +28,15 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
-	"sync/atomic"
 
 	"nearspan/internal/graph"
+	"nearspan/internal/sched"
 )
 
 // MessageWords is the fixed number of payload words in a Message. Three
@@ -78,9 +82,10 @@ const (
 	EngineSequential Engine = iota + 1
 	// EngineGoroutine runs one goroutine per vertex with round barriers.
 	EngineGoroutine
-	// EngineParallel runs vertex shards on a fixed worker pool sized to
-	// GOMAXPROCS (see Options.Workers), amortizing the per-goroutine
-	// overhead that makes EngineGoroutine impractical at scale.
+	// EngineParallel runs vertex shards on the shared execution runtime
+	// (see Options.Runtime), amortizing the per-goroutine overhead that
+	// makes EngineGoroutine impractical at scale and letting concurrent
+	// simulators share one bounded worker pool.
 	EngineParallel
 )
 
@@ -132,9 +137,15 @@ type Options struct {
 	Engine    Engine        // defaults to EngineSequential
 	Bandwidth int           // messages per directed edge per round; defaults to 1
 	Delivery  DeliveryOrder // defaults to DeliverPortAscending
-	// Workers is the worker-pool size for EngineParallel; defaults to
-	// GOMAXPROCS. Ignored by the other engines. Any value produces the
-	// identical execution — it only changes the hardware parallelism.
+	// Runtime is the shared execution runtime EngineParallel submits its
+	// round batches to; it also hosts the per-runtime simulator counter.
+	// Nil selects the process-wide sched.Default(). Supply a private
+	// runtime (sched.New) to isolate pool lifecycle or counters — e.g.
+	// batch builders that must release every goroutine on Close.
+	Runtime *sched.Runtime
+	// Workers bounds the per-round shard fan-out of EngineParallel;
+	// defaults to the runtime's worker count. Any value produces the
+	// identical execution — it only changes scheduling granularity.
 	Workers int
 }
 
@@ -144,6 +155,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Bandwidth <= 0 {
 		o.Bandwidth = 1
+	}
+	if o.Runtime == nil {
+		o.Runtime = sched.Default()
 	}
 	return o
 }
@@ -162,6 +176,36 @@ var ErrBandwidth = errors.New("congest: bandwidth exceeded")
 
 // ErrPort is returned (wrapped) when a program sends on an invalid port.
 var ErrPort = errors.New("congest: invalid port")
+
+// ErrBudgetExhausted reports that RunUntilQuiet consumed its entire
+// round budget without reaching quiescence. It carries the in-flight
+// message histogram and the count of still-active vertices, so a stuck
+// message-driven protocol (e.g. a path climb that never drains) can be
+// diagnosed from the error alone instead of a debugger. Retrieve it with
+// errors.As.
+type ErrBudgetExhausted struct {
+	MaxRounds int           // the exhausted budget
+	Pending   int           // messages still in flight
+	ByKind    map[uint8]int // pending messages by kind
+	Active    int           // vertices that have not halted
+}
+
+func (e *ErrBudgetExhausted) Error() string {
+	var kinds strings.Builder
+	ks := make([]int, 0, len(e.ByKind))
+	for k := range e.ByKind {
+		ks = append(ks, int(k))
+	}
+	sort.Ints(ks)
+	for i, k := range ks {
+		if i > 0 {
+			kinds.WriteString(" ")
+		}
+		fmt.Fprintf(&kinds, "kind %d: %d", k, e.ByKind[uint8(k)])
+	}
+	return fmt.Sprintf("congest: round budget %d exhausted before quiescence: %d message(s) in flight (%s), %d vertex(es) active",
+		e.MaxRounds, e.Pending, kinds.String(), e.Active)
+}
 
 // Simulator executes one Program instance per vertex of a graph.
 type Simulator struct {
@@ -191,26 +235,20 @@ type Simulator struct {
 	violRound      int
 	violVertex     int
 
-	workers *workerPool // lazily started for EngineGoroutine
-	pool    *shardPool  // lazily started for EngineParallel
+	workers *workerPool     // lazily started for EngineGoroutine
+	par     *parallelShards // lazily built for EngineParallel
 }
 
-// created counts Simulator constructions process-wide. It exists for
-// tests that assert a caller reuses one simulator (via Reset) instead of
+// New creates a simulator running progs[v] at vertex v. The construction
+// is counted on the options' runtime (SimulatorsCreated), so tests can
+// assert a caller reuses one simulator (via Reset) instead of
 // constructing one per protocol step.
-var created atomic.Int64
-
-// Created returns the number of simulators constructed by New (and
-// NewUniform) since process start.
-func Created() int64 { return created.Load() }
-
-// New creates a simulator running progs[v] at vertex v.
 func New(g *graph.Graph, progs []Program, opts Options) (*Simulator, error) {
 	if len(progs) != g.N() {
 		return nil, fmt.Errorf("congest: %d programs for %d vertices", len(progs), g.N())
 	}
-	created.Add(1)
 	opts = opts.withDefaults()
+	opts.Runtime.NoteSimulator()
 	s := &Simulator{g: g, opts: opts, progs: progs}
 	nSlots := 0
 	slotBase := make([]int32, g.N()+1)
@@ -251,10 +289,10 @@ func NewUniform(g *graph.Graph, factory func(v int) Program, opts Options) (*Sim
 // Reset swaps in new per-vertex programs and rewinds the simulator to
 // its pre-Init state while retaining every piece of graph-derived
 // machinery: the twin table, the cur/next message arenas, the env
-// slices, and — crucially — the already-started goroutine and shard
-// worker pools. A sequence of protocols on the same topology therefore
-// pays the O(m·Bandwidth) construction and pool-start cost exactly
-// once.
+// slices, the shard layout, and — for the goroutine engine — the
+// already-started per-vertex workers. A sequence of protocols on the
+// same topology therefore pays the O(m·Bandwidth) construction and
+// pool-start cost exactly once.
 //
 // Metrics, the round counter, the halted flags, any recorded violation,
 // and any still-buffered messages are cleared: after Reset the
@@ -263,9 +301,11 @@ func NewUniform(g *graph.Graph, factory func(v int) Program, opts Options) (*Sim
 // previous run. Callers that must not lose in-flight messages silently
 // should check Pending before resetting (protocols.Session does).
 //
-// Reset must not be called concurrently with Run; between runs the pool
-// workers are parked on their start channels, and the next round's
-// channel send orders Reset's writes before any worker reads them.
+// Reset must not be called concurrently with Run; between runs the
+// goroutine-engine workers are parked on their start channels and the
+// shared runtime's workers hold no reference to this simulator, so the
+// next round's batch submission orders Reset's writes before any worker
+// reads them.
 func (s *Simulator) Reset(progs []Program) error {
 	if len(progs) != s.g.N() {
 		return fmt.Errorf("congest: %d programs for %d vertices", len(progs), s.g.N())
@@ -301,6 +341,12 @@ func (s *Simulator) reset() {
 	s.firstViolation = nil
 	s.violRound, s.violVertex = 0, 0
 	s.violMu.Unlock()
+	if s.par != nil {
+		s.par.panicMu.Lock()
+		s.par.panicked = nil
+		s.par.panicVertex = 0
+		s.par.panicMu.Unlock()
+	}
 }
 
 // Pending returns the number of messages currently buffered for
@@ -424,10 +470,27 @@ func (s *Simulator) violation() error {
 // Run executes exactly rounds additional rounds (calling Init first if no
 // round has run yet) and returns the first model violation, if any.
 func (s *Simulator) Run(rounds int) error {
+	return s.RunContext(context.Background(), rounds)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// round boundary, so a cancelled or expired context aborts the execution
+// within one simulated round and returns ctx.Err(). Determinism is
+// preserved by construction — rounds are atomic (a round either fully
+// executes on every vertex or not at all), so cancellation can truncate
+// an execution but never corrupt one. A cancelled simulator may be Reset
+// and reused.
+func (s *Simulator) RunContext(ctx context.Context, rounds int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.round == 0 {
 		s.runInit()
 	}
 	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.step()
 		if err := s.violation(); err != nil {
 			return err
@@ -438,25 +501,54 @@ func (s *Simulator) Run(rounds int) error {
 
 // RunUntilQuiet executes rounds until no messages are in flight and every
 // vertex has halted, up to maxRounds. It returns the number of rounds
-// executed and the first violation, if any.
+// executed and the first violation, if any. If the budget runs out
+// before quiescence the error is a *ErrBudgetExhausted carrying the
+// pending-message histogram.
 //
 // Quiescence here is the message-driven kind: a protocol that acts on a
 // precomputed round schedule must use Run with its schedule length.
 func (s *Simulator) RunUntilQuiet(maxRounds int) (int, error) {
+	return s.RunUntilQuietContext(context.Background(), maxRounds)
+}
+
+// RunUntilQuietContext is RunUntilQuiet with cancellation checked at
+// every round boundary (see RunContext).
+func (s *Simulator) RunUntilQuietContext(ctx context.Context, maxRounds int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.round == 0 {
 		s.runInit()
 	}
 	start := s.round
 	for i := 0; i < maxRounds; i++ {
 		if s.quiet() {
-			break
+			return s.round - start, s.violation()
+		}
+		if err := ctx.Err(); err != nil {
+			return s.round - start, err
 		}
 		s.step()
 		if err := s.violation(); err != nil {
 			return s.round - start, err
 		}
 	}
-	return s.round - start, s.violation()
+	if err := s.violation(); err != nil {
+		return s.round - start, err
+	}
+	if !s.quiet() {
+		total, byKind := s.Pending()
+		active := 0
+		for _, h := range s.halted {
+			if !h {
+				active++
+			}
+		}
+		return s.round - start, &ErrBudgetExhausted{
+			MaxRounds: maxRounds, Pending: total, ByKind: byKind, Active: active,
+		}
+	}
+	return s.round - start, nil
 }
 
 func (s *Simulator) quiet() bool {

@@ -88,11 +88,13 @@ func (s *Simulator) stepGoroutine() {
 	}
 }
 
-// Close releases the worker goroutines of the goroutine and parallel
-// engines. It is a no-op for the sequential engine and safe to call
-// multiple times. Always call it (e.g. via defer) after running with
-// EngineGoroutine or EngineParallel. A closed simulator must not be
-// run (or Reset and run) again: its pools are gone for good.
+// Close releases the per-vertex worker goroutines of the goroutine
+// engine. It is safe to call multiple times and is a no-op for the
+// other engines: the sequential engine owns no goroutines, and the
+// parallel engine executes on the shared runtime (whose lifecycle
+// belongs to sched.Runtime.Close, not to any one simulator). A closed
+// goroutine-engine simulator must not be run (or Reset and run) again:
+// its workers are gone for good.
 func (s *Simulator) Close() {
 	if s.workers != nil {
 		s.workers.closeOnce.Do(func() {
@@ -101,8 +103,5 @@ func (s *Simulator) Close() {
 			}
 			s.workers.lifetime.Wait()
 		})
-	}
-	if s.pool != nil {
-		s.pool.close()
 	}
 }

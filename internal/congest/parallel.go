@@ -2,9 +2,7 @@ package congest
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 const (
@@ -18,52 +16,50 @@ const (
 	shardsPerWorker = 4
 )
 
-// shardPool hosts the fixed worker set of EngineParallel. Vertices are
-// partitioned into contiguous shards; each round the coordinator resets
-// the shard cursor, releases every worker, and waits on the barrier while
-// workers claim shards off the cursor and run their vertices.
+// parallelShards is EngineParallel's per-simulator state. Execution
+// happens on the shared runtime (Options.Runtime): each round the
+// coordinator submits one batch of shards via sched.Runtime.Do, and
+// whichever runtime workers are free — plus the coordinating goroutine
+// itself — claim shards off the batch cursor. The simulator therefore
+// owns no goroutines of its own; any number of concurrent simulators
+// share the runtime's bounded pool.
 //
 // Determinism is structural, not scheduled: a message's position in the
 // next-round buffer is a pure function of its sender vertex and port (the
 // CSR slot layout), so each shard writes a disjoint, pre-reserved region
 // of the outbound buffer — the per-shard outbound buffers of the design
 // are merged at the round barrier by construction, with zero copying.
-// Whatever order the scheduler runs shards in, the buffer contents after
+// Whatever order the runtime runs shards in, the buffer contents after
 // the barrier are bit-identical to a sequential round. The remaining
 // order-sensitive observables are canonicalized to the lowest (round,
 // vertex): the reported violation error matches EngineSequential's
 // exactly, and the re-raised panic names the vertex the sequential
 // engine would have hit first (wrapped in a formatted value — the
 // sequential engine propagates the program's raw panic value and stops
-// mid-round, which a worker pool cannot reproduce).
-type shardPool struct {
-	shards [][2]int32 // [lo, hi) vertex ranges, in vertex order
-	cursor atomic.Int64
-
-	start     []chan struct{} // one per worker
-	barrier   sync.WaitGroup  // round completion
-	lifetime  sync.WaitGroup  // worker shutdown
-	closeOnce sync.Once
+// mid-round, which a shared pool cannot reproduce).
+type parallelShards struct {
+	shards  [][2]int32  // [lo, hi) vertex ranges, in vertex order
+	scratch [][]Inbound // per-shard gather buffers, reused across rounds
 
 	panicMu     sync.Mutex
 	panicVertex int
 	panicked    any
 }
 
-func (sp *shardPool) recordPanic(v int, r any) {
-	sp.panicMu.Lock()
-	if sp.panicked == nil || v < sp.panicVertex {
-		sp.panicked = fmt.Sprintf("vertex %d: %v", v, r)
-		sp.panicVertex = v
+func (ps *parallelShards) recordPanic(v int, r any) {
+	ps.panicMu.Lock()
+	if ps.panicked == nil || v < ps.panicVertex {
+		ps.panicked = fmt.Sprintf("vertex %d: %v", v, r)
+		ps.panicVertex = v
 	}
-	sp.panicMu.Unlock()
+	ps.panicMu.Unlock()
 }
 
-func (s *Simulator) startShardPool() {
+func (s *Simulator) initShards() {
 	n := s.g.N()
 	workers := s.opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = s.opts.Runtime.Workers()
 	}
 	if workers > n {
 		workers = n
@@ -75,48 +71,27 @@ func (s *Simulator) startShardPool() {
 	if size < minShardVertices {
 		size = minShardVertices
 	}
-	sp := &shardPool{start: make([]chan struct{}, workers)}
+	ps := &parallelShards{}
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {
 			hi = n
 		}
-		sp.shards = append(sp.shards, [2]int32{int32(lo), int32(hi)})
+		ps.shards = append(ps.shards, [2]int32{int32(lo), int32(hi)})
 	}
-	for w := range sp.start {
-		sp.start[w] = make(chan struct{})
-	}
-	sp.lifetime.Add(workers)
-	for w := 0; w < workers; w++ {
-		go s.shardWorker(sp, w)
-	}
-	s.pool = sp
-}
-
-func (s *Simulator) shardWorker(sp *shardPool, w int) {
-	defer sp.lifetime.Done()
-	scratch := make([]Inbound, 0, 64)
-	for range sp.start[w] {
-		for {
-			i := int(sp.cursor.Add(1)) - 1
-			if i >= len(sp.shards) {
-				break
-			}
-			scratch = s.runShard(sp, sp.shards[i], scratch)
-		}
-		sp.barrier.Done()
-	}
+	ps.scratch = make([][]Inbound, len(ps.shards))
+	s.par = ps
 }
 
 // runShard executes one round for every vertex of the shard, in vertex
-// order. A panicking vertex aborts its shard (the pool re-raises the
-// lowest panicking vertex at the barrier, so nothing downstream observes
-// the partial state).
-func (s *Simulator) runShard(sp *shardPool, sh [2]int32, scratch []Inbound) []Inbound {
+// order. A panicking vertex aborts its shard (the coordinator re-raises
+// the lowest panicking vertex after the round barrier, so nothing
+// downstream observes the partial state).
+func (s *Simulator) runShard(ps *parallelShards, sh [2]int32, scratch []Inbound) []Inbound {
 	v := int(sh[0])
 	defer func() {
 		if r := recover(); r != nil {
-			sp.recordPanic(v, r)
+			ps.recordPanic(v, r)
 		}
 	}()
 	for ; v < int(sh[1]); v++ {
@@ -133,30 +108,18 @@ func (s *Simulator) runShard(sp *shardPool, sh [2]int32, scratch []Inbound) []In
 }
 
 func (s *Simulator) stepParallel() {
-	if s.pool == nil {
-		s.startShardPool()
+	if s.par == nil {
+		s.initShards()
 	}
-	sp := s.pool
-	sp.cursor.Store(0)
-	sp.barrier.Add(len(sp.start))
-	for _, ch := range sp.start {
-		ch <- struct{}{}
-	}
-	sp.barrier.Wait()
-	sp.panicMu.Lock()
-	p := sp.panicked
-	sp.panicMu.Unlock()
+	ps := s.par
+	s.opts.Runtime.Do(len(ps.shards), func(i int) {
+		ps.scratch[i] = s.runShard(ps, ps.shards[i], ps.scratch[i])
+	})
+	ps.panicMu.Lock()
+	p := ps.panicked
+	ps.panicMu.Unlock()
 	if p != nil {
 		s.Close()
 		panic(p) // re-raise program panics on the coordinating goroutine
 	}
-}
-
-func (sp *shardPool) close() {
-	sp.closeOnce.Do(func() {
-		for _, ch := range sp.start {
-			close(ch)
-		}
-		sp.lifetime.Wait()
-	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nearspan/internal/gen"
+	"nearspan/internal/sched"
 )
 
 // A reused simulator must be indistinguishable from a fresh one: after
@@ -83,6 +84,37 @@ func TestResetClearsViolationAndPending(t *testing.T) {
 	}
 }
 
+// Reset must also clear a recorded program panic on the parallel
+// engine: a caller that recovered the re-raised panic and Reset the
+// simulator gets a clean run, not the previous run's panic replayed.
+func TestResetClearsRecordedPanicParallel(t *testing.T) {
+	g := gen.Grid(5, 5)
+	sim, err := NewUniform(g, func(v int) Program { return &panicProg{boom: v == 2} },
+		Options{Engine: EngineParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("program panic was not re-raised")
+			}
+		}()
+		_ = sim.Run(5)
+	}()
+	sim.ResetUniform(newFlood(0))
+	if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+		t.Fatalf("reset-after-panic run failed: %v", err)
+	}
+	want := g.BFS(0)
+	for v := 0; v < g.N(); v++ {
+		if int32(sim.Program(v).(*floodProg).dist) != want[v] {
+			t.Errorf("vertex %d: dist %d after panic+reset, want %d",
+				v, sim.Program(v).(*floodProg).dist, want[v])
+		}
+	}
+}
+
 func TestResetProgramCountMismatch(t *testing.T) {
 	g := gen.Path(3)
 	sim, err := NewUniform(g, newFlood(0), Options{})
@@ -94,13 +126,24 @@ func TestResetProgramCountMismatch(t *testing.T) {
 	}
 }
 
-func TestCreatedCounterIncrements(t *testing.T) {
-	before := Created()
-	if _, err := NewUniform(gen.Path(3), newFlood(0), Options{}); err != nil {
+// Simulator constructions are counted per runtime, so concurrent
+// batches and parallel tests on other runtimes cannot perturb an
+// assertion made against a private one.
+func TestSimulatorsCreatedPerRuntime(t *testing.T) {
+	rtA, rtB := sched.New(1), sched.New(1)
+	defer rtA.Close()
+	defer rtB.Close()
+	if _, err := NewUniform(gen.Path(3), newFlood(0), Options{Runtime: rtA}); err != nil {
 		t.Fatal(err)
 	}
-	if got := Created() - before; got != 1 {
-		t.Errorf("Created advanced by %d, want 1", got)
+	if _, err := NewUniform(gen.Path(3), newFlood(0), Options{Runtime: rtA}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rtA.SimulatorsCreated(); got != 2 {
+		t.Errorf("runtime A counted %d simulators, want 2", got)
+	}
+	if got := rtB.SimulatorsCreated(); got != 0 {
+		t.Errorf("runtime B counted %d simulators, want 0", got)
 	}
 }
 
@@ -118,39 +161,81 @@ func goroutinesSettle(t *testing.T, want int) int {
 	return n
 }
 
-// The worker and shard pools must be started once, survive any number of
-// Resets without spawning replacements, and be fully torn down by Close —
-// the goroutine-leak regression guard for the persistent-network runtime.
+// The goroutine-engine worker pool must be started once, survive any
+// number of Resets without spawning replacements, and be fully torn
+// down by Close — the goroutine-leak regression guard for the
+// persistent-network runtime.
 func TestPoolsNotLeakedAcrossResetAndClose(t *testing.T) {
 	g := gen.Grid(5, 5)
-	for _, eng := range []Engine{EngineGoroutine, EngineParallel} {
-		t.Run(eng.String(), func(t *testing.T) {
-			base := runtime.NumGoroutine()
-			sim, err := NewUniform(g, newFlood(0), Options{Engine: eng})
-			if err != nil {
-				t.Fatal(err)
-			}
+	base := runtime.NumGoroutine()
+	sim, err := NewUniform(g, newFlood(0), Options{Engine: EngineGoroutine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+		t.Fatal(err)
+	}
+	running := runtime.NumGoroutine()
+	if running <= base {
+		t.Fatalf("no pool goroutines observed (base %d, running %d)", base, running)
+	}
+	for i := 0; i < 5; i++ {
+		sim.ResetUniform(newFlood(i))
+		if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reset must reuse the pool, not stack new goroutines on top.
+	if after := runtime.NumGoroutine(); after > running {
+		t.Errorf("goroutines grew across Resets: %d -> %d", running, after)
+	}
+	sim.Close()
+	if after := goroutinesSettle(t, base); after > base {
+		t.Errorf("Close leaked goroutines: base %d, after close %d", base, after)
+	}
+}
+
+// EngineParallel owns no goroutines: its rounds execute on the shared
+// scheduler, which starts its workers once, survives any number of
+// simulators and Resets, and dies with sched.Runtime.Close — the
+// scheduler-lifecycle extension of the goroutine-leak regression guard.
+func TestSchedulerLifecycleAcrossSimulators(t *testing.T) {
+	g := gen.Grid(5, 5)
+	base := runtime.NumGoroutine()
+	rt := sched.New(3)
+	runSim := func() {
+		sim, err := NewUniform(g, newFlood(0), Options{Engine: EngineParallel, Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			sim.ResetUniform(newFlood(i))
 			if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
 				t.Fatal(err)
 			}
-			running := runtime.NumGoroutine()
-			if running <= base {
-				t.Fatalf("no pool goroutines observed (base %d, running %d)", base, running)
-			}
-			for i := 0; i < 5; i++ {
-				sim.ResetUniform(newFlood(i))
-				if _, err := sim.RunUntilQuiet(10 * g.N()); err != nil {
-					t.Fatal(err)
-				}
-			}
-			// Reset must reuse the pool, not stack new goroutines on top.
-			if after := runtime.NumGoroutine(); after > running {
-				t.Errorf("goroutines grew across Resets: %d -> %d", running, after)
-			}
-			sim.Close()
-			if after := goroutinesSettle(t, base); after > base {
-				t.Errorf("Close leaked goroutines: base %d, after close %d", base, after)
-			}
-		})
+		}
+		sim.Close() // a no-op for the parallel engine; the pool is the runtime's
+	}
+	runSim()
+	running := goroutinesSettle(t, base+3)
+	if running <= base {
+		t.Errorf("scheduler workers not observed: base %d, running %d", base, running)
+	}
+	if running > base+3 {
+		t.Errorf("scheduler added more than its 3 workers: base %d, running %d", base, running)
+	}
+	// Many more simulators on the same runtime must not grow the pool.
+	for i := 0; i < 4; i++ {
+		runSim()
+	}
+	if after := goroutinesSettle(t, running); after > running {
+		t.Errorf("goroutines grew across simulators on one runtime: %d -> %d", running, after)
+	}
+	rt.Close()
+	if after := goroutinesSettle(t, base); after > base {
+		t.Errorf("runtime Close leaked goroutines: base %d, after close %d", base, after)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"nearspan/internal/congest"
 	"nearspan/internal/graph"
 	"nearspan/internal/protocols"
@@ -8,11 +10,11 @@ import (
 
 // distributedBackend executes each protocol step as a session on one
 // persistent CONGEST network: the simulator (message arenas, twin
-// table, engine worker pools) is constructed exactly once per Build and
-// reused — via congest.Reset — across all phases and steps. Round
-// counts are measured; fixed-schedule protocols run for exactly their
-// budget (all vertices know the schedule, §1.3.1), and path climbs run
-// to quiescence.
+// table, shard layout) is constructed exactly once per Build and reused
+// — via congest.Reset — across all phases and steps, with every round
+// executing on the shared runtime. Round counts are measured;
+// fixed-schedule protocols run for exactly their budget (all vertices
+// know the schedule, §1.3.1), and path climbs run to quiescence.
 type distributedBackend struct {
 	g     *graph.Graph
 	nEst  int // the vertex-count estimate known to the vertices
@@ -42,7 +44,7 @@ func (d *distributedBackend) messages() int64 {
 	return total
 }
 
-func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+func (d *distributedBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
 	// The schedule always consumes its budget (vertices cannot detect
 	// global emptiness), but with no centers not a single message flows,
 	// so the simulation itself can be skipped.
@@ -57,20 +59,20 @@ func (d *distributedBackend) nearNeighbors(centers []int, deg int, delta int32) 
 		}, rounds, nil
 	}
 	isC := membership(d.g.N(), centers)
-	return protocols.RunNearNeighbors(d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta)
+	return protocols.RunNearNeighbors(ctx, d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta)
 }
 
-func (d *distributedBackend) rulingSet(members []int, q int32, c int) ([]int, int, error) {
+func (d *distributedBackend) rulingSet(ctx context.Context, members []int, q int32, c int) ([]int, int, error) {
 	rounds := protocols.RulingSetRounds(q, c, d.nEst)
 	if len(members) == 0 {
 		d.net.RecordIdle(d.phase, protocols.StepRulingSet, rounds)
 		return nil, rounds, nil
 	}
 	isM := membership(d.g.N(), members)
-	return protocols.RunRulingSet(d.net, d.phase, func(v int) bool { return isM[v] }, q, c, d.nEst)
+	return protocols.RunRulingSet(ctx, d.net, d.phase, func(v int) bool { return isM[v] }, q, c, d.nEst)
 }
 
-func (d *distributedBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
+func (d *distributedBackend) forest(ctx context.Context, roots []int, depth int32) (protocols.ForestResult, int, error) {
 	rounds := protocols.ForestRounds(depth)
 	if len(roots) == 0 {
 		n := d.g.N()
@@ -88,10 +90,10 @@ func (d *distributedBackend) forest(roots []int, depth int32) (protocols.ForestR
 		return res, rounds, nil
 	}
 	isR := membership(d.g.N(), roots)
-	return protocols.RunForest(d.net, d.phase, func(v int) bool { return isR[v] }, depth)
+	return protocols.RunForest(ctx, d.net, d.phase, func(v int) bool { return isR[v] }, depth)
 }
 
-func (d *distributedBackend) climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+func (d *distributedBackend) climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
 	any := false
 	for _, s := range start {
 		if len(s) > 0 {
@@ -103,7 +105,7 @@ func (d *distributedBackend) climb(step string, via []map[int64]int, start [][]i
 		d.net.RecordIdle(d.phase, step, 0)
 		return map[protocols.Edge]bool{}, 0, nil
 	}
-	return protocols.RunClimb(d.net, d.phase, step, via, start, keysPerVertex, pathLen)
+	return protocols.RunClimb(ctx, d.net, d.phase, step, via, start, keysPerVertex, pathLen)
 }
 
 func membership(n int, xs []int) []bool {
@@ -118,12 +120,14 @@ func membership(n int, xs []int) []bool {
 // oracles: identical deterministic decisions, no rounds. Fixed-schedule
 // round budgets are still reported and recorded as step metrics (they
 // are parameter functions, equal to the distributed measurements);
-// climbs report zero rounds, and no step moves messages.
+// climbs report zero rounds, and no step moves messages. Cancellation
+// is observed between steps (the per-step oracles are fast and atomic).
 type centralBackend struct {
-	g     *graph.Graph
-	nEst  int
-	phase int
-	rec   []protocols.StepMetrics
+	g      *graph.Graph
+	nEst   int
+	phase  int
+	rec    []protocols.StepMetrics
+	onStep func(protocols.StepMetrics)
 }
 
 func (c *centralBackend) beginPhase(i int) { c.phase = i }
@@ -131,24 +135,37 @@ func (c *centralBackend) beginPhase(i int) { c.phase = i }
 func (c *centralBackend) steps() []protocols.StepMetrics { return c.rec }
 
 func (c *centralBackend) record(step string, rounds int) {
-	c.rec = append(c.rec, protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds})
+	sm := protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds}
+	c.rec = append(c.rec, sm)
+	if c.onStep != nil {
+		c.onStep(sm)
+	}
 }
 
 func (c *centralBackend) messages() int64 { return 0 }
 
-func (c *centralBackend) nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+func (c *centralBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+	if err := ctx.Err(); err != nil {
+		return protocols.NNResult{}, 0, err
+	}
 	rounds := protocols.NearNeighborsRounds(deg, delta)
 	c.record(protocols.StepNearNeighbors, rounds)
 	return protocols.CentralNearNeighbors(c.g, centers, deg, delta), rounds, nil
 }
 
-func (c *centralBackend) rulingSet(members []int, q int32, cc int) ([]int, int, error) {
+func (c *centralBackend) rulingSet(ctx context.Context, members []int, q int32, cc int) ([]int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	rounds := protocols.RulingSetRounds(q, cc, c.nEst)
 	c.record(protocols.StepRulingSet, rounds)
 	return protocols.CentralRulingSet(c.g, members, q, cc, c.nEst), rounds, nil
 }
 
-func (c *centralBackend) forest(roots []int, depth int32) (protocols.ForestResult, int, error) {
+func (c *centralBackend) forest(ctx context.Context, roots []int, depth int32) (protocols.ForestResult, int, error) {
+	if err := ctx.Err(); err != nil {
+		return protocols.ForestResult{}, 0, err
+	}
 	n := c.g.N()
 	res := protocols.ForestResult{
 		Dist:       make([]int32, n),
@@ -179,7 +196,10 @@ func (c *centralBackend) forest(roots []int, depth int32) (protocols.ForestResul
 // climb walks the pointer chains directly; the per-key visited set
 // reproduces the distributed protocol's forward-once dedupe, so the
 // marked edge set is identical.
-func (c *centralBackend) climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+func (c *centralBackend) climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	edges := make(map[protocols.Edge]bool)
 	visited := make(map[int64]map[int]bool) // key -> vertices that forwarded
 	for v := range start {

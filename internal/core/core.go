@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,7 @@ import (
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
 	"nearspan/internal/protocols"
+	"nearspan/internal/sched"
 )
 
 // Mode selects the execution backend.
@@ -77,6 +79,16 @@ type Options struct {
 	// result for verification and figure rendering (memory-heavy on
 	// large graphs).
 	KeepClusters bool
+	// Runtime is the shared execution runtime distributed builds submit
+	// their simulator rounds to; nil selects the process-wide default.
+	// Concurrent Builds given the same runtime share one bounded worker
+	// pool instead of stacking private pools.
+	Runtime *sched.Runtime
+	// OnStep, when set, receives each protocol step's metrics as it
+	// completes — the per-build progress stream. It is invoked
+	// synchronously on the building goroutine, in execution order, in
+	// both modes (centralized steps report their schedule budgets).
+	OnStep func(protocols.StepMetrics)
 }
 
 // PhaseStats records one phase's measurements, aligned with the paper's
@@ -143,16 +155,19 @@ func (r *Result) EdgeCount() int { return r.Spanner.M() }
 // metrics each call records; steps returns the accumulated stream.
 type backend interface {
 	beginPhase(i int)
-	nearNeighbors(centers []int, deg int, delta int32) (protocols.NNResult, int, error)
-	rulingSet(members []int, q int32, c int) ([]int, int, error)
-	forest(roots []int, depth int32) (protocols.ForestResult, int, error)
-	climb(step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
+	nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error)
+	rulingSet(ctx context.Context, members []int, q int32, c int) ([]int, int, error)
+	forest(ctx context.Context, roots []int, depth int32) (protocols.ForestResult, int, error)
+	climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
 	messages() int64
 	steps() []protocols.StepMetrics
 }
 
-// Build constructs the spanner for g under p.
-func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
+// Build constructs the spanner for g under p. Cancelling the context
+// aborts the construction — within one simulated round in distributed
+// mode, at the next protocol step centrally — and returns the context's
+// error (wrapped); a cancelled Build never returns a partial spanner.
+func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 	if p.N != g.N() {
 		return nil, fmt.Errorf("core: params for n=%d but graph has n=%d", p.N, g.N())
 	}
@@ -162,15 +177,17 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 	var bk backend
 	switch opts.Mode {
 	case ModeCentralized:
-		bk = &centralBackend{g: g, nEst: p.NEstimate}
+		bk = &centralBackend{g: g, nEst: p.NEstimate, onStep: opts.OnStep}
 	case ModeDistributed:
 		// One persistent network for the whole construction: every
-		// phase's protocol steps attach to it as sessions.
+		// phase's protocol steps attach to it as sessions, and every
+		// round executes on the shared runtime.
 		db, err := newDistributedBackend(g, p.NEstimate,
-			congest.Options{Engine: opts.Engine, Delivery: opts.Delivery})
+			congest.Options{Engine: opts.Engine, Delivery: opts.Delivery, Runtime: opts.Runtime})
 		if err != nil {
 			return nil, err
 		}
+		db.net.SetOnStep(opts.OnStep)
 		defer db.close()
 		bk = db
 	default:
@@ -182,6 +199,9 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 	cur := cluster.Singletons(g.N())
 
 	for i := 0; i <= p.L; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", i, err)
+		}
 		if opts.KeepClusters {
 			res.P = append(res.P, cur)
 		}
@@ -191,7 +211,7 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 		centers := cur.Centers()
 
 		// Algorithm 1: popularity detection + neighborhood knowledge.
-		nn, nnRounds, err := bk.nearNeighbors(centers, p.Deg[i], p.Delta[i])
+		nn, nnRounds, err := bk.nearNeighbors(ctx, centers, p.Deg[i], p.Delta[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
 		}
@@ -200,14 +220,14 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 		superclustered := make(map[int]bool)
 		var next *cluster.Collection
 		if i < p.L {
-			next, err = superclusterPhase(bk, g, p, i, cur, nn, h, superclustered, &ps)
+			next, err = superclusterPhase(ctx, bk, g, p, i, cur, nn, h, superclustered, &ps)
 			if err != nil {
 				return nil, err
 			}
 		}
 
 		// Interconnection (all phases; phase ℓ has U_ℓ = P_ℓ).
-		icEdges, icRounds, err := interconnect(bk, g, centers, nn, superclustered, p.Delta[i])
+		icEdges, icRounds, err := interconnect(ctx, bk, g, centers, nn, superclustered, p.Delta[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d interconnect: %w", i, err)
 		}
@@ -241,7 +261,7 @@ func Build(g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
 // superclusterPhase runs steps 2–3 of phase i and returns P_{i+1}.
 // It fills the superclustered set, adds forest paths to h, and updates
 // ps in place.
-func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
+func superclusterPhase(ctx context.Context, bk backend, g *graph.Graph, p *params.Params, i int,
 	cur *cluster.Collection, nn protocols.NNResult, h map[protocols.Edge]bool,
 	superclustered map[int]bool, ps *PhaseStats) (*cluster.Collection, error) {
 
@@ -254,7 +274,7 @@ func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
 	}
 	ps.Popular = len(popular)
 
-	rs, rsRounds, err := bk.rulingSet(popular, p.RulingSetQ(i), p.C)
+	rs, rsRounds, err := bk.rulingSet(ctx, popular, p.RulingSetQ(i), p.C)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase %d ruling set: %w", i, err)
 	}
@@ -262,7 +282,7 @@ func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
 	ps.RulingSet = len(rs)
 
 	depth := p.SuperclusterDepth(i)
-	forest, fRounds, err := bk.forest(rs, depth)
+	forest, fRounds, err := bk.forest(ctx, rs, depth)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase %d forest: %w", i, err)
 	}
@@ -289,7 +309,7 @@ func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
 			}
 		}
 	}
-	scEdges, scRounds, err := bk.climb(protocols.StepForestPaths, via, start, 1, int(depth))
+	scEdges, scRounds, err := bk.climb(ctx, protocols.StepForestPaths, via, start, 1, int(depth))
 	if err != nil {
 		return nil, fmt.Errorf("core: phase %d supercluster paths: %w", i, err)
 	}
@@ -306,7 +326,7 @@ func superclusterPhase(bk backend, g *graph.Graph, p *params.Params, i int,
 // interconnect adds, for every center not superclustered this phase, a
 // shortest path to every center it knows (all centers within δ_i, by
 // Theorem 2.1(2)).
-func interconnect(bk backend, g *graph.Graph, centers []int, nn protocols.NNResult,
+func interconnect(ctx context.Context, bk backend, g *graph.Graph, centers []int, nn protocols.NNResult,
 	superclustered map[int]bool, delta int32) (map[protocols.Edge]bool, int, error) {
 
 	via := make([]map[int64]int, g.N())
@@ -326,7 +346,7 @@ func interconnect(bk backend, g *graph.Graph, centers []int, nn protocols.NNResu
 			maxKeys = len(start[c])
 		}
 	}
-	return bk.climb(protocols.StepInterconnect, via, start, maxKeys, int(delta))
+	return bk.climb(ctx, protocols.StepInterconnect, via, start, maxKeys, int(delta))
 }
 
 func addEdges(h map[protocols.Edge]bool, add map[protocols.Edge]bool) int {

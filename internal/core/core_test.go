@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nearspan/internal/cluster"
@@ -47,7 +48,7 @@ func mustParams(t *testing.T, c testConfig) *params.Params {
 
 func build(t *testing.T, c testConfig, opts Options) *Result {
 	t.Helper()
-	res, err := Build(c.g, mustParams(t, c), opts)
+	res, err := Build(context.Background(), c.g, mustParams(t, c), opts)
 	if err != nil {
 		t.Fatalf("%s: %v", c.name, err)
 	}
@@ -338,14 +339,14 @@ func TestBuildValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(g, p, Options{}); err == nil {
+	if _, err := Build(context.Background(), g, p, Options{}); err == nil {
 		t.Error("mismatched n accepted")
 	}
 	p2, err := params.New(0.5, 4, 0.45, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(g, p2, Options{Mode: Mode(99)}); err == nil {
+	if _, err := Build(context.Background(), g, p2, Options{Mode: Mode(99)}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -379,7 +380,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Build(g, p, Options{Mode: ModeDistributed})
+		res, err := Build(context.Background(), g, p, Options{Mode: ModeDistributed})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -402,11 +403,11 @@ func TestEstimatedN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := Build(g, exactP, Options{Mode: ModeDistributed})
+	exact, err := Build(context.Background(), g, exactP, Options{Mode: ModeDistributed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	over, err := Build(g, overP, Options{Mode: ModeDistributed})
+	over, err := Build(context.Background(), g, overP, Options{Mode: ModeDistributed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +425,7 @@ func TestEstimatedN(t *testing.T) {
 			over.TotalRounds, exact.TotalRounds)
 	}
 	// Modes agree under the estimate too.
-	overC, err := Build(g, overP, Options{Mode: ModeCentralized})
+	overC, err := Build(context.Background(), g, overP, Options{Mode: ModeCentralized})
 	if err != nil {
 		t.Fatal(err)
 	}

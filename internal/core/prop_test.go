@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -55,7 +56,7 @@ func TestPropConstructionContract(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		g, p := randomWorkload(r)
-		res, err := Build(g, p, Options{KeepClusters: true})
+		res, err := Build(context.Background(), g, p, Options{KeepClusters: true})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -94,11 +95,11 @@ func TestPropModeEquivalence(t *testing.T) {
 			// Keep the distributed schedule affordable inside quick.
 			return true
 		}
-		a, err := Build(g, p, Options{Mode: ModeCentralized})
+		a, err := Build(context.Background(), g, p, Options{Mode: ModeCentralized})
 		if err != nil {
 			return false
 		}
-		b, err := Build(g, p, Options{Mode: ModeDistributed})
+		b, err := Build(context.Background(), g, p, Options{Mode: ModeDistributed})
 		if err != nil {
 			return false
 		}
@@ -125,7 +126,7 @@ func TestPropRadiusBound(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		g, p := randomWorkload(r)
-		res, err := Build(g, p, Options{KeepClusters: true})
+		res, err := Build(context.Background(), g, p, Options{KeepClusters: true})
 		if err != nil {
 			return false
 		}

@@ -5,27 +5,32 @@ import (
 
 	"nearspan/internal/congest"
 	"nearspan/internal/protocols"
+	"nearspan/internal/sched"
 )
 
 // The distributed backend must construct exactly one simulator per
-// Build — the point of the persistent network runtime.
+// Build — the point of the persistent network runtime. The assertion
+// counts on a private runtime, so concurrent builds elsewhere cannot
+// interfere.
 func TestDistributedBuildConstructsOneSimulator(t *testing.T) {
 	for _, eng := range congest.Engines() {
 		c := testConfigs(t)[1] // gnp-demo
-		before := congest.Created()
-		build(t, c, Options{Mode: ModeDistributed, Engine: eng})
-		if got := congest.Created() - before; got != 1 {
+		rt := sched.New(2)
+		build(t, c, Options{Mode: ModeDistributed, Engine: eng, Runtime: rt})
+		if got := rt.SimulatorsCreated(); got != 1 {
 			t.Errorf("%s: Build constructed %d simulators, want 1", eng, got)
 		}
+		rt.Close()
 	}
 }
 
 // The centralized backend constructs none.
 func TestCentralizedBuildConstructsNoSimulator(t *testing.T) {
 	c := testConfigs(t)[0]
-	before := congest.Created()
-	build(t, c, Options{Mode: ModeCentralized})
-	if got := congest.Created() - before; got != 0 {
+	rt := sched.New(2)
+	defer rt.Close()
+	build(t, c, Options{Mode: ModeCentralized, Runtime: rt})
+	if got := rt.SimulatorsCreated(); got != 0 {
 		t.Errorf("centralized Build constructed %d simulators, want 0", got)
 	}
 }

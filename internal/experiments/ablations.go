@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,41 +21,58 @@ import (
 // (EP01), sampling (EN17), deterministic ruling sets (New) — on the same
 // workload and parameters: the paper's central design trade (§2.1, "the
 // additive term ... is slightly inferior to [EN17]" in exchange for
-// determinism).
-func AblationA1(w io.Writer, cfg Config) error {
+// determinism). The three constructions build and verify concurrently.
+func AblationA1(ctx context.Context, w io.Writer, cfg Config) error {
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation A1 — superclustering mechanism [%s]", cfg.Name),
 		"mechanism", "R_1", "R_2", "beta", "edges", "worst add", "worst ratio", "deterministic")
 
-	pNew, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
+	var (
+		pNew                 *params.Params
+		pEN                  *baseline.EN17Params
+		pEP                  *baseline.EP01Params
+		resNew               *core.Result
+		resEN                *baseline.EN17Result
+		resEP                *baseline.EP01Result
+		repNew, repEN, repEP verify.StretchReport
+	)
+	err := runConcurrently(ctx,
+		func(ctx context.Context) error {
+			var err error
+			if pNew, err = params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N()); err != nil {
+				return err
+			}
+			if resNew, err = core.Build(ctx, cfg.Graph, pNew, core.Options{}); err != nil {
+				return err
+			}
+			repNew = verify.Stretch(cfg.Graph, resNew.Spanner, 1, 0)
+			return nil
+		},
+		func(ctx context.Context) error {
+			var err error
+			if pEN, err = baseline.NewEN17Params(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N()); err != nil {
+				return err
+			}
+			if resEN, err = baseline.BuildEN17(cfg.Graph, pEN, cfg.Seed); err != nil {
+				return err
+			}
+			repEN = verify.Stretch(cfg.Graph, resEN.Spanner, 1, 0)
+			return nil
+		},
+		func(ctx context.Context) error {
+			var err error
+			if pEP, err = baseline.NewEP01Params(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N()); err != nil {
+				return err
+			}
+			if resEP, err = baseline.BuildEP01(cfg.Graph, pEP); err != nil {
+				return err
+			}
+			repEP = verify.Stretch(cfg.Graph, resEP.Spanner, 1, 0)
+			return nil
+		})
 	if err != nil {
 		return err
 	}
-	resNew, err := core.Build(cfg.Graph, pNew, core.Options{})
-	if err != nil {
-		return err
-	}
-	repNew := verify.Stretch(cfg.Graph, resNew.Spanner, 1, 0)
-
-	pEN, err := baseline.NewEN17Params(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
-	if err != nil {
-		return err
-	}
-	resEN, err := baseline.BuildEN17(cfg.Graph, pEN, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	repEN := verify.Stretch(cfg.Graph, resEN.Spanner, 1, 0)
-
-	pEP, err := baseline.NewEP01Params(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
-	if err != nil {
-		return err
-	}
-	resEP, err := baseline.BuildEP01(cfg.Graph, pEP)
-	if err != nil {
-		return err
-	}
-	repEP := verify.Stretch(cfg.Graph, resEP.Spanner, 1, 0)
 
 	r2 := func(r []int32) string {
 		if len(r) > 2 {
@@ -80,13 +98,13 @@ func AblationA1(w io.Writer, cfg Config) error {
 // AblationA2 shows the two-stage degree schedule (exponential then
 // fixed): with kappa*rho >= 2 the boundary i0 is interior, and |P_i|
 // collapses at rate deg_i per phase.
-func AblationA2(w io.Writer) error {
+func AblationA2(ctx context.Context, w io.Writer) error {
 	g := gen.GNP(700, 0.05, 99, true)
 	p, err := params.New(0.5, 8, 0.3, g.N())
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(g, p, core.Options{})
+	res, err := core.Build(ctx, g, p, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -113,8 +131,10 @@ func AblationA2(w io.Writer) error {
 // AblationA3 runs the identical distributed construction on all three
 // CONGEST engines and reports the wall-clock cost of each execution
 // strategy (goroutine-per-vertex model fidelity vs sharded parallelism),
-// verifying output equality.
-func AblationA3(w io.Writer) error {
+// verifying output equality. The engine runs stay sequential on purpose:
+// each row is a wall-clock measurement and must not share cores with a
+// concurrent sibling.
+func AblationA3(ctx context.Context, w io.Writer) error {
 	g := gen.Torus(12, 12)
 	p, err := params.New(0.5, 4, 0.45, g.N())
 	if err != nil {
@@ -125,7 +145,7 @@ func AblationA3(w io.Writer) error {
 	var edges []int
 	for _, eng := range congest.Engines() {
 		start := time.Now()
-		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed, Engine: eng})
+		res, err := core.Build(ctx, g, p, core.Options{Mode: core.ModeDistributed, Engine: eng})
 		if err != nil {
 			return err
 		}
@@ -162,7 +182,7 @@ func AblationA3(w io.Writer) error {
 // Lemma A.1 deficit (some vertex knows fewer than min(deg, |Γ^δ∩S\{v}|)
 // other centers) and graphs where an unpopular center misses or
 // mis-measures a center within delta (Theorem 2.1(2) violations).
-func AblationA4(w io.Writer) error {
+func AblationA4(ctx context.Context, w io.Writer) error {
 	type rule struct {
 		name      string
 		reforward bool
@@ -205,6 +225,9 @@ func AblationA4(w io.Writer) error {
 	for _, r := range rules {
 		deficitGraphs, exactGraphs := 0, 0
 		for _, wl := range workloads {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			res := simulateNN(wl.g, wl.centers, wl.deg, wl.delta, r.reforward, wl.deg+r.budget)
 			d, e := nnViolations(wl.g, wl.centers, wl.deg, wl.delta, res)
 			if d > 0 {

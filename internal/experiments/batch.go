@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// runConcurrently executes the tasks concurrently — bounded by
+// GOMAXPROCS — and returns the first error in task order. It is how the
+// experiment grids fan out over the shared execution runtime: every
+// distributed build inside a task multiplexes its simulator rounds onto
+// the same process-wide worker pool (sched.Default), so a fan-out of N
+// tasks costs N coordinating goroutines, not N private pools. Tasks
+// must be independent; callers collect results positionally and render
+// them in input order so concurrent execution never changes the report.
+//
+// The first task failure cancels the siblings' context, so in-flight
+// builds abort at their next round boundary instead of running to
+// completion; tasks not yet started report the cancellation. The
+// returned error is the first failure in task order (sibling
+// cancellations it caused are not misreported as the cause).
+func runConcurrently(ctx context.Context, tasks ...func(ctx context.Context) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		go func(i int, task func(ctx context.Context) error) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if errs[i] = task(ctx); errs[i] != nil {
+				cancel()
+			}
+		}(i, task)
+	}
+	wg.Wait()
+	// Prefer a genuine failure over the context errors it induced.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return first
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -15,12 +16,12 @@ import (
 // on one configuration: radius growth (Lemma 2.7 / eq. 6), cluster decay
 // (Lemmas 2.10–2.11), per-phase rounds (Lemma 2.8 / Cor. 2.9), and size
 // (Lemma 2.12 / Cor. 2.13).
-func Claims(w io.Writer, cfg Config) error {
+func Claims(ctx context.Context, w io.Writer, cfg Config) error {
 	p, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine, KeepClusters: true})
+	res, err := core.Build(ctx, cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine, KeepClusters: true})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestTable1Runs(t *testing.T) {
 	var sb strings.Builder
-	if err := Table1(&sb, QuickConfigs()[:1]); err != nil {
+	if err := Table1(context.Background(), &sb, QuickConfigs()[:1]); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -26,7 +27,7 @@ func TestTable1Runs(t *testing.T) {
 
 func TestTable2Runs(t *testing.T) {
 	var sb strings.Builder
-	if err := Table2(&sb, QuickConfigs()[0]); err != nil {
+	if err := Table2(context.Background(), &sb, QuickConfigs()[0]); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -46,7 +47,7 @@ func TestTable2Runs(t *testing.T) {
 
 func TestFiguresAllPass(t *testing.T) {
 	var sb strings.Builder
-	if err := Figures(&sb, DefaultFigureConfig()); err != nil {
+	if err := Figures(context.Background(), &sb, DefaultFigureConfig()); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -65,7 +66,7 @@ func TestFiguresAllPass(t *testing.T) {
 
 func TestPhaseBreakdownRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := PhaseBreakdown(&sb, QuickConfigs()[0]); err != nil {
+	if err := PhaseBreakdown(context.Background(), &sb, QuickConfigs()[0]); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -78,7 +79,7 @@ func TestPhaseBreakdownRuns(t *testing.T) {
 
 func TestClaimsRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := Claims(&sb, QuickConfigs()[0]); err != nil {
+	if err := Claims(context.Background(), &sb, QuickConfigs()[0]); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -91,10 +92,10 @@ func TestClaimsRuns(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	var sb strings.Builder
-	if err := AblationA1(&sb, QuickConfigs()[0]); err != nil {
+	if err := AblationA1(context.Background(), &sb, QuickConfigs()[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := AblationA4(&sb); err != nil {
+	if err := AblationA4(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -170,7 +171,7 @@ func TestQuickSuiteSmoke(t *testing.T) {
 		t.Skip("suite smoke test skipped in -short mode")
 	}
 	var sb strings.Builder
-	if err := Suite(&sb, QuickConfigs(), congest.EngineParallel); err != nil {
+	if err := Suite(context.Background(), &sb, QuickConfigs(), congest.EngineParallel); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "[FAIL]") {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -72,7 +73,7 @@ func figureGraph(fc FigureConfig) *graph.Graph {
 // Figures runs the structural experiments for the paper's Figures 1–8:
 // each figure's claim is verified as an invariant, and Figures 1–5 are
 // rendered on the grid.
-func Figures(w io.Writer, fc FigureConfig) error {
+func Figures(ctx context.Context, w io.Writer, fc FigureConfig) error {
 	g := figureGraph(fc)
 	p, err := params.New(fc.Eps, fc.Kappa, fc.Rho, g.N())
 	if err != nil {
@@ -82,7 +83,7 @@ func Figures(w io.Writer, fc FigureConfig) error {
 	if fc.Engine != 0 {
 		mode = core.ModeDistributed
 	}
-	res, err := core.Build(g, p, core.Options{Mode: mode, Engine: fc.Engine, KeepClusters: true})
+	res, err := core.Build(ctx, g, p, core.Options{Mode: mode, Engine: fc.Engine, KeepClusters: true})
 	if err != nil {
 		return err
 	}

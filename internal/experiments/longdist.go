@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,7 +22,7 @@ import (
 // deterministic near-additive spanner against a (2κ−1)-multiplicative
 // spanner per distance range: multiplicative error grows linearly with
 // distance, near-additive error is capped by εd+β.
-func LongDistance(w io.Writer) error {
+func LongDistance(ctx context.Context, w io.Writer) error {
 	// 30 dense communities of 16 vertices arranged in a ring: diameter
 	// is ~2·30/2 + intra hops, giving real long-distance structure.
 	g := ringOfCommunities(30, 16, 0.5, 123)
@@ -30,7 +31,7 @@ func LongDistance(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resNew, err := core.Build(g, p, core.Options{})
+	resNew, err := core.Build(ctx, g, p, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -152,27 +153,44 @@ func ringOfCommunities(k, s int, pIn float64, seed uint64) *graph.Graph {
 // low-polynomial (sublinear for ρ < 1/2 once β is fixed). The fitted
 // exponent is reported alongside the schedule's dominant term. The
 // engine selects the simulator execution strategy (zero = sequential);
-// it changes only the wall clock, not the measured rounds.
-func RoundScaling(w io.Writer, engine congest.Engine) error {
+// it changes only the wall clock, not the measured rounds — which is
+// also why the n-grid can fan out concurrently over the shared runtime
+// without perturbing any measurement.
+func RoundScaling(ctx context.Context, w io.Writer, engine congest.Engine) error {
 	eps, kappa, rho := 1.0/3, 3, 0.49
 	ns := []int{128, 256, 512, 1024}
 	t := stats.NewTable("Round scaling — measured CONGEST rounds vs n (gnp, eps=1/3, kappa=3, rho=0.49)",
 		"n", "m", "rounds", "rounds/n", "edges kept")
+	type point struct {
+		m, rounds, kept int
+	}
+	points := make([]point, len(ns))
+	tasks := make([]func(ctx context.Context) error, len(ns))
+	for i := range ns {
+		n := ns[i]
+		tasks[i] = func(ctx context.Context) error {
+			g := gen.GNP(n, math.Min(0.5, 16/float64(n)), uint64(n), true)
+			p, err := params.New(eps, kappa, rho, n)
+			if err != nil {
+				return err
+			}
+			res, err := core.Build(ctx, g, p, core.Options{Mode: core.ModeDistributed, Engine: engine})
+			if err != nil {
+				return err
+			}
+			points[i] = point{m: g.M(), rounds: res.TotalRounds, kept: res.EdgeCount()}
+			return nil
+		}
+	}
+	if err := runConcurrently(ctx, tasks...); err != nil {
+		return err
+	}
 	var logN, logR []float64
-	for _, n := range ns {
-		g := gen.GNP(n, math.Min(0.5, 16/float64(n)), uint64(n), true)
-		p, err := params.New(eps, kappa, rho, n)
-		if err != nil {
-			return err
-		}
-		res, err := core.Build(g, p, core.Options{Mode: core.ModeDistributed, Engine: engine})
-		if err != nil {
-			return err
-		}
-		t.Add(stats.Itoa(n), stats.Itoa(g.M()), stats.Itoa(res.TotalRounds),
-			stats.F(float64(res.TotalRounds)/float64(n), 2), stats.Itoa(res.EdgeCount()))
+	for i, n := range ns {
+		t.Add(stats.Itoa(n), stats.Itoa(points[i].m), stats.Itoa(points[i].rounds),
+			stats.F(float64(points[i].rounds)/float64(n), 2), stats.Itoa(points[i].kept))
 		logN = append(logN, math.Log(float64(n)))
-		logR = append(logR, math.Log(float64(res.TotalRounds)))
+		logR = append(logR, math.Log(float64(points[i].rounds)))
 	}
 	slope := fitSlope(logN, logR)
 	t.Note("fitted growth exponent: rounds ~ n^%.2f (sublinear; schedule dominated by the ruling set's n^{1/c} windows, c=%d)",

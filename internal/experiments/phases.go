@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,12 +17,12 @@ import (
 // comes from the persistent network runtime: one simulator serves every
 // session, and each session records its own rounds, messages, and peak
 // round traffic.
-func PhaseBreakdown(w io.Writer, cfg Config) error {
+func PhaseBreakdown(ctx context.Context, w io.Writer, cfg Config) error {
 	p, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
+	res, err := core.Build(ctx, cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
 	if err != nil {
 		return err
 	}

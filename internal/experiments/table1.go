@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,18 +15,38 @@ import (
 // deterministic CONGEST-model near-additive spanner algorithms. [Elk05]
 // is reported analytically (its defining property is a super-linear
 // round bound; see DESIGN.md §1.5); the paper's algorithm is reported
-// both analytically and as measured on the workload.
-func Table1(w io.Writer, cfgs []Config) error {
-	for _, cfg := range cfgs {
-		p, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
-		if err != nil {
-			return err
+// both analytically and as measured on the workload. The per-workload
+// builds and stretch verifications fan out concurrently over the shared
+// execution runtime; rows render in configuration order.
+func Table1(ctx context.Context, w io.Writer, cfgs []Config) error {
+	type row struct {
+		p   *params.Params
+		res *core.Result
+		rep verify.StretchReport
+	}
+	rows := make([]row, len(cfgs))
+	tasks := make([]func(ctx context.Context) error, len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		tasks[i] = func(ctx context.Context) error {
+			p, err := params.New(cfg.Eps, cfg.Kappa, cfg.Rho, cfg.N())
+			if err != nil {
+				return err
+			}
+			res, err := core.Build(ctx, cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
+			if err != nil {
+				return err
+			}
+			rows[i] = row{p: p, res: res, rep: verify.Stretch(cfg.Graph, res.Spanner, 1+p.EpsPrime(), p.BetaInt())}
+			return nil
 		}
-		res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
-		if err != nil {
-			return err
-		}
-		rep := verify.Stretch(cfg.Graph, res.Spanner, 1+p.EpsPrime(), p.BetaInt())
+	}
+	if err := runConcurrently(ctx, tasks...); err != nil {
+		return err
+	}
+
+	for i, cfg := range cfgs {
+		p, res, rep := rows[i].p, rows[i].res, rows[i].rep
 
 		t := stats.NewTable(
 			fmt.Sprintf("Table 1 — deterministic CONGEST algorithms [%s: n=%d m=%d eps=%.3g kappa=%d rho=%.2f]",

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"nearspan/internal/baseline"
 	"nearspan/internal/core"
+	"nearspan/internal/graph"
 	"nearspan/internal/params"
 	"nearspan/internal/stats"
 	"nearspan/internal/verify"
@@ -15,9 +17,10 @@ import (
 // Table2 regenerates the paper's Table 2 (Appendix B): the panorama of
 // near-additive spanner constructions. Four rows are measured from the
 // implementations in this repository (New, EN17, EP01, Baswana–Sen as
-// the multiplicative reference); the remaining rows evaluate their
-// published bounds at the experiment's parameters (O-constants = 1).
-func Table2(w io.Writer, cfg Config) error {
+// the multiplicative reference), built and verified concurrently on the
+// shared execution runtime; the remaining rows evaluate their published
+// bounds at the experiment's parameters (O-constants = 1).
+func Table2(ctx context.Context, w io.Writer, cfg Config) error {
 	n, kappa, rho, eps := cfg.N(), cfg.Kappa, cfg.Rho, cfg.Eps
 	lg := math.Log2(float64(n))
 	lk := logc(float64(kappa))
@@ -75,51 +78,69 @@ func Table2(w io.Writer, cfg Config) error {
 	addAnalytic("New (paper)", "CONGEST det", betaNew, SizeBound(betaNew, n, kappa),
 		RoundsNew(eps, kappa, rho, n), "")
 
-	// Measured rows.
-	p, err := params.New(eps, kappa, rho, n)
+	// Measured rows: the four constructions build and verify
+	// concurrently; rows are added in the table's fixed order below.
+	var (
+		res                         *core.Result
+		resEN                       *baseline.EN17Result
+		resEP                       *baseline.EP01Result
+		bs                          *graph.Graph
+		repNew, repEN, repEP, repBS verify.StretchReport
+	)
+	err := runConcurrently(ctx,
+		func(ctx context.Context) error {
+			p, err := params.New(eps, kappa, rho, n)
+			if err != nil {
+				return err
+			}
+			if res, err = core.Build(ctx, cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine}); err != nil {
+				return err
+			}
+			repNew = verify.Stretch(cfg.Graph, res.Spanner, 1+p.EpsPrime(), p.BetaInt())
+			return nil
+		},
+		func(ctx context.Context) error {
+			pEN, err := baseline.NewEN17Params(eps, kappa, rho, n)
+			if err != nil {
+				return err
+			}
+			if resEN, err = baseline.BuildEN17(cfg.Graph, pEN, cfg.Seed); err != nil {
+				return err
+			}
+			repEN = verify.Stretch(cfg.Graph, resEN.Spanner, 1+resEN.EpsPrime, resEN.Beta)
+			return nil
+		},
+		func(ctx context.Context) error {
+			pEP, err := baseline.NewEP01Params(eps, kappa, rho, n)
+			if err != nil {
+				return err
+			}
+			if resEP, err = baseline.BuildEP01(cfg.Graph, pEP); err != nil {
+				return err
+			}
+			repEP = verify.Stretch(cfg.Graph, resEP.Spanner, 1+resEP.EpsPrime, resEP.Beta)
+			return nil
+		},
+		func(ctx context.Context) error {
+			var err error
+			if bs, err = baseline.BuildBaswanaSen(cfg.Graph, kappa, cfg.Seed); err != nil {
+				return err
+			}
+			repBS = verify.Stretch(cfg.Graph, bs, float64(2*kappa-1), 0)
+			return nil
+		})
 	if err != nil {
 		return err
 	}
-	res, err := core.Build(cfg.Graph, p, core.Options{Mode: core.ModeDistributed, Engine: cfg.Engine})
-	if err != nil {
-		return err
-	}
-	repNew := verify.Stretch(cfg.Graph, res.Spanner, 1+p.EpsPrime(), p.BetaInt())
 	t.Add("New (this repo)", "CONGEST det", "measured",
 		fmt.Sprintf("(%.3f, %d)", repNew.WorstRatio, repNew.WorstAdditive),
 		stats.Itoa(res.EdgeCount()), stats.Itoa(res.TotalRounds))
-
-	pEN, err := baseline.NewEN17Params(eps, kappa, rho, n)
-	if err != nil {
-		return err
-	}
-	resEN, err := baseline.BuildEN17(cfg.Graph, pEN, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	repEN := verify.Stretch(cfg.Graph, resEN.Spanner, 1+resEN.EpsPrime, resEN.Beta)
 	t.Add("EN17 (this repo)", "CONGEST rand", "measured",
 		fmt.Sprintf("(%.3f, %d)", repEN.WorstRatio, repEN.WorstAdditive),
 		stats.Itoa(resEN.Spanner.M()), stats.Itoa(resEN.ScheduledRounds)+" (scheduled)")
-
-	pEP, err := baseline.NewEP01Params(eps, kappa, rho, n)
-	if err != nil {
-		return err
-	}
-	resEP, err := baseline.BuildEP01(cfg.Graph, pEP)
-	if err != nil {
-		return err
-	}
-	repEP := verify.Stretch(cfg.Graph, resEP.Spanner, 1+resEP.EpsPrime, resEP.Beta)
 	t.Add("EP01 (this repo)", "centralized det", "measured",
 		fmt.Sprintf("(%.3f, %d)", repEP.WorstRatio, repEP.WorstAdditive),
 		stats.Itoa(resEP.Spanner.M()), "-")
-
-	bs, err := baseline.BuildBaswanaSen(cfg.Graph, kappa, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	repBS := verify.Stretch(cfg.Graph, bs, float64(2*kappa-1), 0)
 	t.Add(fmt.Sprintf("BaswanaSen (%d-mult)", 2*kappa-1), "centralized rand", "measured",
 		fmt.Sprintf("(%.3f, %d)", repBS.WorstRatio, repBS.WorstAdditive),
 		stats.Itoa(bs.M()), "-")

@@ -17,6 +17,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"nearspan/internal/congest"
@@ -61,7 +62,7 @@ func New(g *graph.Graph, opts Options) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Build(g, p, core.Options{Mode: opts.Mode, Engine: opts.Engine})
+	res, err := core.Build(context.Background(), g, p, core.Options{Mode: opts.Mode, Engine: opts.Engine})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -87,7 +88,7 @@ func TestOracleFromSpanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Build(g, p, core.Options{})
+	res, err := core.Build(context.Background(), g, p, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,11 +40,14 @@ type StepMetrics struct {
 // time. A Network pays those costs once and additionally keeps the
 // per-step metrics stream the per-phase accounting is built from.
 //
-// Close releases the engine pools; always call it when done with the
-// concurrent engines.
+// Close releases the goroutine engine's per-vertex workers; it is a
+// no-op for the other engines (the parallel engine executes on the
+// shared runtime, whose lifecycle is independent of any one network).
+// Always call it when done with a goroutine-engine network.
 type Network struct {
-	sim   *congest.Simulator
-	steps []StepMetrics
+	sim    *congest.Simulator
+	steps  []StepMetrics
+	onStep func(StepMetrics)
 }
 
 // idleProgram occupies vertices of a freshly created network before the
@@ -72,14 +76,28 @@ func (n *Network) Graph() *graph.Graph { return n.sim.Graph() }
 // Steps returns the metrics of every session run so far, in order.
 func (n *Network) Steps() []StepMetrics { return n.steps }
 
+// SetOnStep installs a progress callback invoked synchronously with each
+// recorded step metric (including idle records), in execution order. It
+// is the hook behind per-build progress reporting; the callback must not
+// call back into the network.
+func (n *Network) SetOnStep(fn func(StepMetrics)) { n.onStep = fn }
+
+func (n *Network) record(sm StepMetrics) {
+	n.steps = append(n.steps, sm)
+	if n.onStep != nil {
+		n.onStep(sm)
+	}
+}
+
 // RecordIdle appends a zero-cost metrics entry for a step that was
 // statically known to move no messages (e.g. an empty center set): the
 // schedule still charges its round budget, but no simulation ran.
 func (n *Network) RecordIdle(phase int, step string, rounds int) {
-	n.steps = append(n.steps, StepMetrics{Phase: phase, Step: step, Rounds: rounds})
+	n.record(StepMetrics{Phase: phase, Step: step, Rounds: rounds})
 }
 
-// Close releases the simulator's engine pools.
+// Close releases the simulator's goroutine-engine workers, if any (see
+// the type comment).
 func (n *Network) Close() { n.sim.Close() }
 
 // Session is one protocol run attached to the network. Each session
@@ -104,10 +122,12 @@ func (n *Network) Session(phase int, step string, kind uint8) *Session {
 }
 
 // Run attaches factory's programs to the network and executes exactly
-// rounds rounds, recording the step metrics.
-func (s *Session) Run(factory func(v int) congest.Program, rounds int) error {
+// rounds rounds, recording the step metrics. Cancelling the context
+// aborts the session at a round boundary with ctx.Err() (wrapped); no
+// metrics are recorded for an aborted session.
+func (s *Session) Run(ctx context.Context, factory func(v int) congest.Program, rounds int) error {
 	s.net.sim.ResetUniform(factory)
-	if err := s.net.sim.Run(rounds); err != nil {
+	if err := s.net.sim.RunContext(ctx, rounds); err != nil {
 		return fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
 	}
 	return s.finish()
@@ -115,9 +135,11 @@ func (s *Session) Run(factory func(v int) congest.Program, rounds int) error {
 
 // RunUntilQuiet attaches factory's programs and executes until
 // quiescence (at most maxRounds), returning the measured round count.
-func (s *Session) RunUntilQuiet(factory func(v int) congest.Program, maxRounds int) (int, error) {
+// An exhausted budget surfaces as a wrapped *congest.ErrBudgetExhausted
+// carrying the pending-message histogram.
+func (s *Session) RunUntilQuiet(ctx context.Context, factory func(v int) congest.Program, maxRounds int) (int, error) {
 	s.net.sim.ResetUniform(factory)
-	rounds, err := s.net.sim.RunUntilQuiet(maxRounds)
+	rounds, err := s.net.sim.RunUntilQuietContext(ctx, maxRounds)
 	if err != nil {
 		return rounds, fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
 	}
@@ -142,7 +164,7 @@ func (s *Session) finish() error {
 			s.step, s.phase, own, s.kind, s.net.sim.Round())
 	}
 	m := s.net.sim.Metrics()
-	s.net.steps = append(s.net.steps, StepMetrics{
+	s.net.record(StepMetrics{
 		Phase:           s.phase,
 		Step:            s.step,
 		Rounds:          m.Rounds,
@@ -160,9 +182,9 @@ func (s *Session) finish() error {
 
 // RunNearNeighbors executes Algorithm 1 (popularity detection) as a
 // session and returns the per-vertex result plus the consumed rounds.
-func RunNearNeighbors(net *Network, phase int, isCenter func(v int) bool, deg int, delta int32) (NNResult, int, error) {
+func RunNearNeighbors(ctx context.Context, net *Network, phase int, isCenter func(v int) bool, deg int, delta int32) (NNResult, int, error) {
 	rounds := NearNeighborsRounds(deg, delta)
-	if err := net.Session(phase, StepNearNeighbors, kindNN).Run(NewNearNeighbors(isCenter, deg, delta), rounds); err != nil {
+	if err := net.Session(phase, StepNearNeighbors, kindNN).Run(ctx, NewNearNeighbors(isCenter, deg, delta), rounds); err != nil {
 		return NNResult{}, 0, err
 	}
 	return ExtractNN(net.sim), rounds, nil
@@ -170,9 +192,9 @@ func RunNearNeighbors(net *Network, phase int, isCenter func(v int) bool, deg in
 
 // RunRulingSet executes the deterministic ruling-set protocol as a
 // session and returns the selected set plus the consumed rounds.
-func RunRulingSet(net *Network, phase int, isMember func(v int) bool, q int32, c, n int) ([]int, int, error) {
+func RunRulingSet(ctx context.Context, net *Network, phase int, isMember func(v int) bool, q int32, c, n int) ([]int, int, error) {
 	rounds := RulingSetRounds(q, c, n)
-	if err := net.Session(phase, StepRulingSet, kindRulingWave).Run(NewRulingSet(isMember, q, c, n), rounds); err != nil {
+	if err := net.Session(phase, StepRulingSet, kindRulingWave).Run(ctx, NewRulingSet(isMember, q, c, n), rounds); err != nil {
 		return nil, 0, err
 	}
 	return ExtractRulingSet(net.sim), rounds, nil
@@ -180,9 +202,9 @@ func RunRulingSet(net *Network, phase int, isMember func(v int) bool, q int32, c
 
 // RunForest grows the bounded-depth BFS forest as a session and returns
 // the per-vertex adoption state plus the consumed rounds.
-func RunForest(net *Network, phase int, isRoot func(v int) bool, depth int32) (ForestResult, int, error) {
+func RunForest(ctx context.Context, net *Network, phase int, isRoot func(v int) bool, depth int32) (ForestResult, int, error) {
 	rounds := ForestRounds(depth)
-	if err := net.Session(phase, StepForest, kindForest).Run(NewBFSForest(isRoot, depth), rounds); err != nil {
+	if err := net.Session(phase, StepForest, kindForest).Run(ctx, NewBFSForest(isRoot, depth), rounds); err != nil {
 		return ForestResult{}, 0, err
 	}
 	return ExtractForest(net.sim), rounds, nil
@@ -191,9 +213,9 @@ func RunForest(net *Network, phase int, isRoot func(v int) bool, depth int32) (F
 // RunClimb traces paths through the via pointers as a message-driven
 // session (step names the use: forest paths or interconnection) and
 // returns the marked edges plus the measured rounds.
-func RunClimb(net *Network, phase int, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[Edge]bool, int, error) {
+func RunClimb(ctx context.Context, net *Network, phase int, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[Edge]bool, int, error) {
 	rounds, err := net.Session(phase, step, kindClimb).RunUntilQuiet(
-		NewClimb(via, start), ClimbMaxRounds(keysPerVertex, pathLen))
+		ctx, NewClimb(via, start), ClimbMaxRounds(keysPerVertex, pathLen))
 	if err != nil {
 		return nil, 0, err
 	}

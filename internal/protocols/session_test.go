@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestSessionsMatchFreshSimulators(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nn, nnRounds, err := RunNearNeighbors(net, 0, isCenter, deg, delta)
+		nn, nnRounds, err := RunNearNeighbors(context.Background(), net, 0, isCenter, deg, delta)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestSessionsMatchFreshSimulators(t *testing.T) {
 				t.Fatalf("%s: NN result differs at vertex %d", eng, v)
 			}
 		}
-		rs, _, err := RunRulingSet(net, 0, isCenter, q, c, g.N())
+		rs, _, err := RunRulingSet(context.Background(), net, 0, isCenter, q, c, g.N())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestSessionsMatchFreshSimulators(t *testing.T) {
 				t.Fatalf("%s: ruling set differs at %d: %d vs %d", eng, i, rs[i], refRS[i])
 			}
 		}
-		forest, _, err := RunForest(net, 0, func(v int) bool { return v == 0 }, 4)
+		forest, _, err := RunForest(context.Background(), net, 0, func(v int) bool { return v == 0 }, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestSessionReportsUnderBudgetSchedule(t *testing.T) {
 	// A depth-8 forest needs 8 rounds; cut it off after 3 with the wave
 	// still travelling.
 	err = net.Session(0, StepForest, kindForest).Run(
-		NewBFSForest(func(v int) bool { return v == 0 }, 8), 3)
+		context.Background(), NewBFSForest(func(v int) bool { return v == 0 }, 8), 3)
 	if err == nil {
 		t.Fatal("under-budgeted session finished without a violation")
 	}
@@ -114,7 +115,7 @@ func TestSessionReportsUnderBudgetSchedule(t *testing.T) {
 		t.Error("violating session still recorded metrics")
 	}
 	// The network remains usable: the next session starts clean.
-	if _, _, err := RunForest(net, 1, func(v int) bool { return v == 0 }, 9); err != nil {
+	if _, _, err := RunForest(context.Background(), net, 1, func(v int) bool { return v == 0 }, 9); err != nil {
 		t.Errorf("network unusable after a reported violation: %v", err)
 	}
 }
@@ -138,7 +139,7 @@ func TestSessionReportsForeignKindTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = net.Session(2, StepRulingSet, kindRulingWave).Run(
-		func(v int) congest.Program { return &foreignSender{kind: kindClimb} }, 2)
+		context.Background(), func(v int) congest.Program { return &foreignSender{kind: kindClimb} }, 2)
 	if err == nil {
 		t.Fatal("foreign-kind traffic not reported")
 	}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	for _, n := range []int{0, 1, 3, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		rt.Do(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: task %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// Many goroutines submit batches concurrently: the runtime multiplexes
+// them all on its bounded pool, each Do still runs its own tasks exactly
+// once, and the caller-helps rule guarantees progress even with a
+// 1-worker pool.
+func TestConcurrentDoBatches(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rt := New(workers)
+		var wg sync.WaitGroup
+		for b := 0; b < 16; b++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sum atomic.Int64
+				rt.Do(100, func(i int) { sum.Add(int64(i)) })
+				if got := sum.Load(); got != 4950 {
+					t.Errorf("workers=%d: batch summed %d, want 4950", workers, got)
+				}
+			}()
+		}
+		wg.Wait()
+		rt.Close()
+	}
+}
+
+// The pool spawns lazily, is bounded by the configured worker count no
+// matter how many batches run, and Close reclaims every goroutine.
+func TestLifecycleStartOnceSurviveManyDieOnClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rt := New(3)
+	if got := runtime.NumGoroutine(); got != base {
+		t.Errorf("workers spawned before first Do: %d -> %d", base, got)
+	}
+	for round := 0; round < 50; round++ {
+		rt.Do(32, func(i int) {})
+		if got := runtime.NumGoroutine(); got > base+3 {
+			t.Fatalf("round %d: pool exceeded its bound: base %d, running %d", round, base, got)
+		}
+	}
+	rt.Close()
+	rt.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	got := runtime.NumGoroutine()
+	for got > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		got = runtime.NumGoroutine()
+	}
+	if got > base {
+		t.Errorf("Close leaked goroutines: base %d, after %d", base, got)
+	}
+}
+
+// Close on a never-started runtime must not hang or leak.
+func TestCloseWithoutStart(t *testing.T) {
+	rt := New(2)
+	rt.Close()
+}
+
+// A closed runtime still executes batches, caller-only.
+func TestDoAfterCloseDegradesToCaller(t *testing.T) {
+	rt := New(2)
+	rt.Close()
+	var sum atomic.Int64
+	rt.Do(10, func(i int) { sum.Add(1) })
+	if sum.Load() != 10 {
+		t.Errorf("Do after Close ran %d/10 tasks", sum.Load())
+	}
+}
+
+// A panicking task must not kill a shared worker; the panic of the
+// lowest task index re-raises on the Do caller, deterministically.
+func TestPanicRepropagatesToCaller(t *testing.T) {
+	rt := New(2)
+	defer rt.Close()
+	func() {
+		defer func() {
+			if r := recover(); r != "task 3" {
+				t.Errorf("recovered %v, want task 3", r)
+			}
+		}()
+		rt.Do(8, func(i int) {
+			if i >= 3 {
+				panic("task " + string(rune('0'+i)))
+			}
+		})
+		t.Error("Do returned instead of panicking")
+	}()
+	// The pool survives the panic and serves the next batch.
+	var sum atomic.Int64
+	rt.Do(4, func(i int) { sum.Add(1) })
+	if sum.Load() != 4 {
+		t.Errorf("pool broken after panic: ran %d/4 tasks", sum.Load())
+	}
+}
+
+func TestSimulatorCounter(t *testing.T) {
+	rt := New(1)
+	defer rt.Close()
+	if rt.SimulatorsCreated() != 0 {
+		t.Fatal("fresh runtime has nonzero counter")
+	}
+	rt.NoteSimulator()
+	rt.NoteSimulator()
+	if got := rt.SimulatorsCreated(); got != 2 {
+		t.Errorf("counter %d, want 2", got)
+	}
+}
+
+func TestDefaultIsSingletonWithGOMAXPROCSWorkers(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Error("Default returned distinct runtimes")
+	}
+	if a.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers %d, want GOMAXPROCS %d", a.Workers(), runtime.GOMAXPROCS(0))
+	}
+}

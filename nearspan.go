@@ -27,6 +27,7 @@
 package nearspan
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -132,28 +133,48 @@ type Config struct {
 	GoroutineEngine bool
 	// KeepClusters retains per-phase cluster collections in the result.
 	KeepClusters bool
+	// OnStep, when set, receives each protocol step's metrics as it
+	// completes — a progress stream for long builds. It is called
+	// synchronously on the building goroutine, in execution order, in
+	// both modes (centralized steps report their schedule budgets with
+	// zero messages).
+	OnStep func(StepMetrics)
 }
 
 // BuildSpanner constructs a (1+ε', β)-spanner of g.
 func BuildSpanner(g *Graph, cfg Config) (*Result, error) {
-	var p *Params
-	var err error
-	switch {
-	case cfg.TargetEpsPrime > 0:
-		p, err = params.FromTarget(cfg.TargetEpsPrime, cfg.Kappa, cfg.Rho, g.N())
-	case cfg.Eps > 0:
-		p, err = params.New(cfg.Eps, cfg.Kappa, cfg.Rho, g.N())
-	default:
-		return nil, fmt.Errorf("nearspan: set Config.Eps or Config.TargetEpsPrime")
-	}
+	return BuildSpannerContext(context.Background(), g, cfg)
+}
+
+// BuildSpannerContext is BuildSpanner with cancellation: the context is
+// checked at every simulated round boundary (DistributedMode) and every
+// protocol step (CentralizedMode), so a cancelled or expired context
+// aborts the construction promptly and returns the context's error
+// (errors.Is-matchable). A cancelled build never yields a partial
+// spanner. For building many graphs concurrently, see BuildBatch.
+func BuildSpannerContext(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
+	p, err := cfg.params(g.N())
 	if err != nil {
 		return nil, err
 	}
-	return core.Build(g, p, core.Options{
+	return core.Build(ctx, g, p, core.Options{
 		Mode:         cfg.Mode,
 		Engine:       cfg.engine(),
 		KeepClusters: cfg.KeepClusters,
+		OnStep:       cfg.OnStep,
 	})
+}
+
+// params resolves the parameter schedule from the configuration.
+func (cfg Config) params(n int) (*Params, error) {
+	switch {
+	case cfg.TargetEpsPrime > 0:
+		return params.FromTarget(cfg.TargetEpsPrime, cfg.Kappa, cfg.Rho, n)
+	case cfg.Eps > 0:
+		return params.New(cfg.Eps, cfg.Kappa, cfg.Rho, n)
+	default:
+		return nil, fmt.Errorf("nearspan: set Config.Eps or Config.TargetEpsPrime")
+	}
 }
 
 // engine resolves the Engine selection, honoring the deprecated
@@ -184,7 +205,7 @@ func NewParamsWithEstimate(eps float64, kappa int, rho float64, n, nTilde int) (
 // BuildSpannerWithParams constructs a spanner under an explicit
 // parameter schedule (e.g. one built with NewParamsWithEstimate).
 func BuildSpannerWithParams(g *Graph, p *Params, mode Mode, engine Engine, keepClusters bool) (*Result, error) {
-	return core.Build(g, p, core.Options{
+	return core.Build(context.Background(), g, p, core.Options{
 		Mode:         mode,
 		Engine:       engine,
 		KeepClusters: keepClusters,
