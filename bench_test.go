@@ -111,18 +111,20 @@ func BenchmarkFigure3RulingSetSeparation(b *testing.B) {
 func BenchmarkFigure4SuperclusterPaths(b *testing.B) {
 	g := gen.Grid(12, 12)
 	dist, _, parent := g.MultiBFS([]int{0, 77, 143}, 10)
-	via := make([]map[int64]int, g.N())
+	parentPort := make([]int, g.N())
 	start := make([][]int64, g.N())
 	for v := 0; v < g.N(); v++ {
+		parentPort[v] = -1
 		if parent[v] >= 0 {
-			via[v] = map[int64]int{-1: g.PortOf(v, int(parent[v]))}
+			parentPort[v] = g.PortOf(v, int(parent[v]))
 		}
 		if dist[v] == 10 {
 			start[v] = []int64{-1}
 		}
 	}
+	rt := protocols.NewForestRouting(parentPort, -1)
 	for i := 0; i < b.N; i++ {
-		sim, err := congest.NewUniform(g, protocols.NewClimb(via, start), congest.Options{})
+		sim, err := congest.NewUniform(g, protocols.NewClimb(rt, start), congest.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

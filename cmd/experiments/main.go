@@ -29,11 +29,30 @@ func main() {
 	engine := flag.String("engine", "parallel",
 		"CONGEST engine for distributed builds: sequential|parallel|goroutine (wall clock only; measurements are engine-independent)")
 	timeout := flag.Duration("timeout", 0, "abort the suite after this duration (0 = no limit); sections already printed stay valid")
+	benchJSON := flag.String("bench-json", "",
+		"instead of the suite, run the assembly + engine benchmarks and write the machine-readable perf baseline (ns/op, B/op, allocs/op) to this path")
 	flag.Parse()
 	eng, err := congest.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		err = experiments.BenchJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf baseline to %s\n", *benchJSON)
+		return
 	}
 	cfgs := experiments.DefaultConfigs()
 	if *quick {

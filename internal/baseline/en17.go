@@ -25,9 +25,9 @@ import (
 	"math"
 
 	"nearspan/internal/cluster"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
-	"nearspan/internal/protocols"
 	"nearspan/internal/rng"
 )
 
@@ -118,13 +118,15 @@ func BuildEN17(g *graph.Graph, p *EN17Params, seed uint64) (*EN17Result, error) 
 		return nil, fmt.Errorf("baseline: EN17 params n=%d, graph n=%d", p.N, g.N())
 	}
 	res := &EN17Result{Beta: p.Beta(), EpsPrime: p.EpsPrime()}
-	h := make(map[protocols.Edge]bool)
+	h := edgeset.NewSet(g.N())
 	cur := cluster.Singletons(g.N())
+	superclustered := edgeset.NewAssignment(g.N())
+	assignment := edgeset.NewAssignment(g.N())
 
 	for i := 0; i <= p.L; i++ {
 		ph := EN17Phase{Index: i, Deg: p.Deg[i], Delta: p.Delta[i], Clusters: cur.Len()}
 		centers := cur.Centers()
-		superclustered := make(map[int]bool)
+		superclustered.Reset()
 		var next *cluster.Collection
 
 		if i < p.L && len(centers) > 0 {
@@ -142,16 +144,15 @@ func BuildEN17(g *graph.Graph, p *EN17Params, seed uint64) (*EN17Result, error) 
 			// Sampled centers grow superclusters by BFS to depth δ_i;
 			// every spanned center joins its nearest sampled center.
 			dist, root, parent := g.MultiBFS(sampled, p.Delta[i])
-			assignment := make(map[int]int)
+			assignment.Reset()
 			for _, c := range centers {
 				if dist[c] != graph.Infinity {
-					assignment[c] = int(root[c])
-					superclustered[c] = true
+					assignment.Set(c, root[c])
+					superclustered.Set(c, 1)
 				}
 			}
 			// Forest root paths are added to H.
-			added := forestPaths(g, centers, dist, parent, superclustered)
-			ph.EdgesSC = mergeEdges(h, added)
+			ph.EdgesSC = h.AddSet(forestPaths(g, centers, dist, parent, superclustered))
 
 			var err error
 			next, err = cur.Merge(g.N(), assignment)
@@ -165,10 +166,10 @@ func BuildEN17(g *graph.Graph, p *EN17Params, seed uint64) (*EN17Result, error) 
 		// Interconnection: unsuperclustered centers connect to every
 		// center within δ_i (no popularity cap — EN17 bounds the count
 		// in expectation via the sampling).
-		icEdges, icPairs := en17Interconnect(g, centers, superclustered, p.Delta[i])
+		icEdges, icPairs := en17Interconnect(g, centers, superclustered, p.Delta[i], h)
 		_ = icPairs
-		ph.EdgesIC = mergeEdges(h, icEdges)
-		ph.Unclustered = len(centers) - len(superclustered)
+		ph.EdgesIC = icEdges
+		ph.Unclustered = len(centers) - superclustered.Len()
 		// Charge the exploration schedule: deg_i·δ_i rounds, the
 		// Bellman-Ford budget of the randomized interconnection.
 		res.ScheduledRounds += p.Deg[i] * int(p.Delta[i])
@@ -177,22 +178,20 @@ func BuildEN17(g *graph.Graph, p *EN17Params, seed uint64) (*EN17Result, error) 
 			cur = next
 		}
 	}
-	res.Spanner = edgesToGraph(g.N(), h)
+	res.Spanner = h.Graph()
 	return res, nil
 }
 
 // en17Interconnect adds a shortest path from every unsuperclustered
-// center to every center within delta, returning the edges and the pair
-// count.
-func en17Interconnect(g *graph.Graph, centers []int, superclustered map[int]bool, delta int32) (map[protocols.Edge]bool, int) {
-	edges := make(map[protocols.Edge]bool)
-	isCenter := make(map[int]bool, len(centers))
+// center to every center within delta directly into h, returning the
+// number of new edges and the pair count.
+func en17Interconnect(g *graph.Graph, centers []int, superclustered *edgeset.Assignment, delta int32, h *edgeset.Set) (added, pairs int) {
+	isCenter := make([]bool, g.N())
 	for _, c := range centers {
 		isCenter[c] = true
 	}
-	pairs := 0
 	for _, c := range centers {
-		if superclustered[c] {
+		if superclustered.Has(c) {
 			continue
 		}
 		dist, _, parent := g.MultiBFS([]int{c}, delta)
@@ -204,52 +203,33 @@ func en17Interconnect(g *graph.Graph, centers []int, superclustered map[int]bool
 			// Walk the BFS parents back to c, adding the path.
 			for x := v; x != c; {
 				px := int(parent[x])
-				edges[protocols.NormEdge(x, px)] = true
+				if h.Add(x, px) {
+					added++
+				}
 				x = px
 			}
 		}
 	}
-	return edges, pairs
+	return added, pairs
 }
 
 // forestPaths collects root paths for all spanned centers from a
-// MultiBFS forest.
-func forestPaths(g *graph.Graph, centers []int, dist []int32, parent []int32, spanned map[int]bool) map[protocols.Edge]bool {
-	edges := make(map[protocols.Edge]bool)
+// MultiBFS forest. The step-local set preserves the walk's early-exit
+// semantics (stop once this step already marked the rest of the path);
+// the caller merges it into H for the phase's new-edge count.
+func forestPaths(g *graph.Graph, centers []int, dist []int32, parent []int32, spanned *edgeset.Assignment) *edgeset.Set {
+	edges := edgeset.NewSet(g.N())
 	for _, c := range centers {
-		if !spanned[c] || dist[c] == graph.Infinity {
+		if !spanned.Has(c) || dist[c] == graph.Infinity {
 			continue
 		}
 		for x := c; parent[x] >= 0; {
 			px := int(parent[x])
-			e := protocols.NormEdge(x, px)
-			if edges[e] {
+			if !edges.Add(x, px) {
 				break // the rest of the path is already marked
 			}
-			edges[e] = true
 			x = px
 		}
 	}
 	return edges
-}
-
-func mergeEdges(h, add map[protocols.Edge]bool) int {
-	n := 0
-	for e := range add {
-		if !h[e] {
-			h[e] = true
-			n++
-		}
-	}
-	return n
-}
-
-func edgesToGraph(n int, h map[protocols.Edge]bool) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for e := range h {
-		if err := b.AddEdge(int(e.U), int(e.V)); err != nil {
-			panic("baseline: internal error: " + err.Error())
-		}
-	}
-	return b.Build()
 }

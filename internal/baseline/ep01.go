@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"nearspan/internal/cluster"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
-	"nearspan/internal/protocols"
 )
 
 // EP01Result is the outcome of the centralized Elkin–Peleg construction.
@@ -93,18 +93,20 @@ func BuildEP01(g *graph.Graph, p *EP01Params) (*EP01Result, error) {
 		return nil, fmt.Errorf("baseline: EP01 params n=%d, graph n=%d", p.N, g.N())
 	}
 	res := &EP01Result{Beta: p.Beta(), EpsPrime: p.EpsPrime()}
-	h := make(map[protocols.Edge]bool)
+	h := edgeset.NewSet(g.N())
 	cur := cluster.Singletons(g.N())
+	superclustered := edgeset.NewAssignment(g.N())
+	assignment := edgeset.NewAssignment(g.N())
 
 	for i := 0; i <= p.L; i++ {
 		ph := EP01Phase{Index: i, Deg: p.Deg[i], Delta: p.Delta[i], Clusters: cur.Len()}
 		centers := cur.Centers()
-		superclustered := make(map[int]bool)
+		superclustered.Reset()
 		var next *cluster.Collection
 
 		if i < p.L && len(centers) > 0 {
 			// Pairwise near-center lists, one bounded BFS per center.
-			near := make(map[int][]int, len(centers))
+			near := make([][]int, g.N())
 			for _, c := range centers {
 				dist := g.BFSBounded(c, p.Delta[i])
 				for _, other := range centers {
@@ -120,20 +122,20 @@ func BuildEP01(g *graph.Graph, p *EP01Params) (*EP01Result, error) {
 			remainingNear := func(c int) int {
 				k := 0
 				for _, o := range near[c] {
-					if !superclustered[o] {
+					if !superclustered.Has(o) {
 						k++
 					}
 				}
 				return k
 			}
 
-			assignment := make(map[int]int)
+			assignment.Reset()
 			for {
 				// Smallest unassigned center with >= deg_i unassigned
 				// near centers.
 				pick := -1
 				for _, c := range centers {
-					if !superclustered[c] && remainingNear(c) >= p.Deg[i] {
+					if !superclustered.Has(c) && remainingNear(c) >= p.Deg[i] {
 						pick = c
 						break
 					}
@@ -143,19 +145,17 @@ func BuildEP01(g *graph.Graph, p *EP01Params) (*EP01Result, error) {
 				}
 				ph.Superclst++
 				dist, _, parent := g.MultiBFS([]int{pick}, p.Delta[i])
-				assignment[pick] = pick
-				superclustered[pick] = true
+				assignment.Set(pick, int32(pick))
+				superclustered.Set(pick, 1)
 				for _, other := range near[pick] {
-					if superclustered[other] || dist[other] == graph.Infinity {
+					if superclustered.Has(other) || dist[other] == graph.Infinity {
 						continue
 					}
-					assignment[other] = pick
-					superclustered[other] = true
+					assignment.Set(other, int32(pick))
+					superclustered.Set(other, 1)
 					for x := other; x != pick; {
 						px := int(parent[x])
-						e := protocols.NormEdge(x, px)
-						if !h[e] {
-							h[e] = true
+						if h.Add(x, px) {
 							ph.EdgesSC++
 						}
 						x = px
@@ -169,19 +169,13 @@ func BuildEP01(g *graph.Graph, p *EP01Params) (*EP01Result, error) {
 			}
 		}
 
-		icEdges, _ := en17Interconnect(g, centers, superclustered, p.Delta[i])
-		for e := range icEdges {
-			if !h[e] {
-				h[e] = true
-				ph.EdgesIC++
-			}
-		}
-		ph.Unclustered = len(centers) - len(superclustered)
+		ph.EdgesIC, _ = en17Interconnect(g, centers, superclustered, p.Delta[i], h)
+		ph.Unclustered = len(centers) - superclustered.Len()
 		res.Phases = append(res.Phases, ph)
 		if next != nil {
 			cur = next
 		}
 	}
-	res.Spanner = edgesToGraph(g.N(), h)
+	res.Spanner = h.Graph()
 	return res, nil
 }

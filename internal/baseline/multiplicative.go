@@ -3,10 +3,10 @@ package baseline
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
-	"nearspan/internal/protocols"
 	"nearspan/internal/rng"
 )
 
@@ -27,7 +27,7 @@ func BuildBaswanaSen(g *graph.Graph, kappa int, seed uint64) (*graph.Graph, erro
 	}
 	n := g.N()
 	r := rng.New(seed)
-	spanner := make(map[protocols.Edge]bool)
+	spanner := edgeset.NewSet(n)
 
 	// clusterOf[v] is the center of v's cluster, or -1 once v retires.
 	clusterOf := make([]int32, n)
@@ -39,29 +39,33 @@ func BuildBaswanaSen(g *graph.Graph, kappa int, seed uint64) (*graph.Graph, erro
 		prob = math.Pow(float64(n), -1.0/float64(kappa))
 	}
 
+	// seen is the per-vertex neighboring-cluster dedupe, cleared per
+	// vertex in O(1) by generation bump.
+	seen := edgeset.NewAssignment(n)
+
 	for it := 0; it < kappa-1; it++ {
 		// Sample surviving cluster centers (in sorted order, so the
 		// seeded run is deterministic).
-		centers := make(map[int32]bool)
+		isCenter := make([]bool, n)
 		for _, c := range clusterOf {
 			if c >= 0 {
-				centers[c] = true
+				isCenter[c] = true
 			}
 		}
-		ids := make([]int32, 0, len(centers))
-		for c := range centers {
-			ids = append(ids, c)
+		var ids []int32
+		for c := int32(0); c < int32(n); c++ {
+			if isCenter[c] {
+				ids = append(ids, c)
+			}
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		sampled := make(map[int32]bool)
+		sampled := make([]bool, n)
 		for _, c := range ids {
 			if r.Float64() < prob {
 				sampled[c] = true
 			}
 		}
 
-		next := make([]int32, n)
-		copy(next, clusterOf)
+		next := slices.Clone(clusterOf)
 		for v := 0; v < n; v++ {
 			if clusterOf[v] < 0 || sampled[clusterOf[v]] {
 				continue
@@ -71,7 +75,7 @@ func BuildBaswanaSen(g *graph.Graph, kappa int, seed uint64) (*graph.Graph, erro
 			for _, w := range g.Neighbors(v) {
 				cw := clusterOf[w]
 				if cw >= 0 && sampled[cw] {
-					spanner[protocols.NormEdge(v, int(w))] = true
+					spanner.Add(v, int(w))
 					next[v] = cw
 					joined = true
 					break
@@ -81,14 +85,14 @@ func BuildBaswanaSen(g *graph.Graph, kappa int, seed uint64) (*graph.Graph, erro
 				continue
 			}
 			// Otherwise add one edge per neighboring cluster and retire.
-			seen := make(map[int32]bool)
+			seen.Reset()
 			for _, w := range g.Neighbors(v) {
 				cw := clusterOf[w]
-				if cw < 0 || seen[cw] || cw == clusterOf[v] {
+				if cw < 0 || seen.Has(int(cw)) || cw == clusterOf[v] {
 					continue
 				}
-				seen[cw] = true
-				spanner[protocols.NormEdge(v, int(w))] = true
+				seen.Set(int(cw), 1)
+				spanner.Add(v, int(w))
 			}
 			next[v] = -1
 		}
@@ -101,17 +105,17 @@ func BuildBaswanaSen(g *graph.Graph, kappa int, seed uint64) (*graph.Graph, erro
 		if clusterOf[v] < 0 {
 			continue
 		}
-		seen := make(map[int32]bool)
+		seen.Reset()
 		for _, w := range g.Neighbors(v) {
 			cw := clusterOf[w]
-			if cw < 0 || cw == clusterOf[v] || seen[cw] {
+			if cw < 0 || cw == clusterOf[v] || seen.Has(int(cw)) {
 				continue
 			}
-			seen[cw] = true
-			spanner[protocols.NormEdge(v, int(w))] = true
+			seen.Set(int(cw), 1)
+			spanner.Add(v, int(w))
 		}
 	}
-	return edgesToGraph(n, spanner), nil
+	return spanner.Graph(), nil
 }
 
 // BuildGreedy constructs the Althöfer et al. greedy (2κ−1)-spanner:

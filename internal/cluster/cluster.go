@@ -6,8 +6,9 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 )
 
@@ -72,7 +73,7 @@ func (c *Collection) Centers() []int {
 	for i, cl := range c.Clusters {
 		out[i] = cl.Center
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -98,29 +99,85 @@ func (c *Collection) IsCenter(v int) bool {
 // decisions: for each new center r (a ruling-set member), the new
 // supercluster's members are the union of the member sets of the old
 // clusters whose centers were assigned to r (including r's own old
-// cluster). assignment maps old-center -> new-center; old centers absent
-// from the map were not superclustered.
-func (c *Collection) Merge(n int, assignment map[int]int) (*Collection, error) {
-	byNew := make(map[int][]int32)
-	for oldCenter, newCenter := range assignment {
-		cl := c.ClusterOf(oldCenter)
-		if cl == nil || cl.Center != oldCenter {
-			return nil, fmt.Errorf("cluster: %d is not a center", oldCenter)
+// cluster). assignment maps old-center -> new-center; old centers not
+// assigned were not superclustered.
+//
+// The merge is fully columnar: one dense pass groups old clusters by new
+// center, and a single ascending vertex scan fills every new member list
+// already sorted — no intermediate map[int][]int32, no member sort, and
+// disjointness holds by construction (each old cluster lands in exactly
+// one supercluster), so no revalidation pass either.
+func (c *Collection) Merge(n int, assignment *edgeset.Assignment) (*Collection, error) {
+	// Reject assignments keyed by non-centers (same contract as before).
+	for v := 0; v < n; v++ {
+		if assignment.Has(v) && !c.IsCenter(v) {
+			return nil, fmt.Errorf("cluster: %d is not a center", v)
 		}
-		byNew[newCenter] = append(byNew[newCenter], cl.Members...)
 	}
-	newCenters := make([]int, 0, len(byNew))
-	for r := range byNew {
-		newCenters = append(newCenters, r)
+
+	// newCenterOf[ci]: the new center old cluster ci merges into, or -1.
+	newCenterOf := make([]int32, len(c.Clusters))
+	var newCenters []int32
+	isNew := make([]bool, n)
+	for ci := range c.Clusters {
+		nc, ok := assignment.Get(c.Clusters[ci].Center)
+		if !ok {
+			newCenterOf[ci] = -1
+			continue
+		}
+		newCenterOf[ci] = nc
+		if !isNew[nc] {
+			isNew[nc] = true
+			newCenters = append(newCenters, nc)
+		}
 	}
-	sort.Ints(newCenters)
-	clusters := make([]Cluster, 0, len(newCenters))
-	for _, r := range newCenters {
-		ms := byNew[r]
-		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
-		clusters = append(clusters, Cluster{Center: r, Members: ms})
+	slices.Sort(newCenters)
+
+	// Index new clusters by their (sorted) centers and size them.
+	idxOf := make([]int32, n)
+	clusters := make([]Cluster, len(newCenters))
+	for i, nc := range newCenters {
+		idxOf[nc] = int32(i)
+		clusters[i].Center = int(nc)
 	}
-	return NewCollection(n, clusters)
+	sizes := make([]int, len(newCenters))
+	for ci := range c.Clusters {
+		if nc := newCenterOf[ci]; nc >= 0 {
+			sizes[idxOf[nc]] += len(c.Clusters[ci].Members)
+		}
+	}
+	for i := range clusters {
+		clusters[i].Members = make([]int32, 0, sizes[i])
+	}
+
+	// One ascending vertex scan fills each member list sorted for free.
+	of := make([]int32, n)
+	for i := range of {
+		of[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		oldIdx := c.Of[v]
+		if oldIdx < 0 {
+			continue
+		}
+		nc := newCenterOf[oldIdx]
+		if nc < 0 {
+			continue
+		}
+		ni := idxOf[nc]
+		clusters[ni].Members = append(clusters[ni].Members, int32(v))
+		of[v] = ni
+	}
+
+	// Every new center must be among its own members (it is iff its own
+	// old cluster was assigned to it) — the invariant NewCollection used
+	// to enforce.
+	for i := range clusters {
+		if of[clusters[i].Center] != int32(i) {
+			return nil, fmt.Errorf("cluster: center %d not among its members", clusters[i].Center)
+		}
+	}
+	return &Collection{Clusters: clusters, Of: of}, nil
 }
 
 // Subset returns the sub-collection of clusters whose centers satisfy

@@ -3,9 +3,20 @@ package cluster
 import (
 	"testing"
 
+	"nearspan/internal/edgeset"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
 )
+
+// asg builds a dense Assignment from a literal old-center → new-center
+// map, the test-friendly face of the columnar merge input.
+func asg(n int, m map[int]int) *edgeset.Assignment {
+	a := edgeset.NewAssignment(n)
+	for k, v := range m {
+		a.Set(k, int32(v))
+	}
+	return a
+}
 
 func TestSingletons(t *testing.T) {
 	c := Singletons(5)
@@ -64,7 +75,7 @@ func TestNewCollectionValidation(t *testing.T) {
 func TestMerge(t *testing.T) {
 	base := Singletons(6)
 	// Supercluster: 0 absorbs 1 and 2; 4 absorbs 5; 3 left out.
-	next, err := base.Merge(6, map[int]int{0: 0, 1: 0, 2: 0, 4: 4, 5: 4})
+	next, err := base.Merge(6, asg(6, map[int]int{0: 0, 1: 0, 2: 0, 4: 4, 5: 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +90,11 @@ func TestMerge(t *testing.T) {
 		t.Error("vertex 3 should be unclustered")
 	}
 	// Merging a non-center errors.
-	two, err := base.Merge(6, map[int]int{0: 0, 1: 0})
+	two, err := base.Merge(6, asg(6, map[int]int{0: 0, 1: 0}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := two.Merge(6, map[int]int{1: 1}); err == nil {
+	if _, err := two.Merge(6, asg(6, map[int]int{1: 1})); err == nil {
 		t.Error("merging non-center accepted")
 	}
 }

@@ -65,7 +65,7 @@ func TestPropMergePreservesMembers(t *testing.T) {
 		for c := range assignment {
 			wantMembers += len(col.ClusterOf(c).Members)
 		}
-		next, err := col.Merge(n, assignment)
+		next, err := col.Merge(n, asg(n, assignment))
 		if err != nil {
 			t.Logf("merge: %v", err)
 			return false

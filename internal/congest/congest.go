@@ -31,7 +31,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"strings"
 	"sync"
 
@@ -192,16 +193,11 @@ type ErrBudgetExhausted struct {
 
 func (e *ErrBudgetExhausted) Error() string {
 	var kinds strings.Builder
-	ks := make([]int, 0, len(e.ByKind))
-	for k := range e.ByKind {
-		ks = append(ks, int(k))
-	}
-	sort.Ints(ks)
-	for i, k := range ks {
+	for i, k := range slices.Sorted(maps.Keys(e.ByKind)) {
 		if i > 0 {
 			kinds.WriteString(" ")
 		}
-		fmt.Fprintf(&kinds, "kind %d: %d", k, e.ByKind[uint8(k)])
+		fmt.Fprintf(&kinds, "kind %d: %d", k, e.ByKind[k])
 	}
 	return fmt.Sprintf("congest: round budget %d exhausted before quiescence: %d message(s) in flight (%s), %d vertex(es) active",
 		e.MaxRounds, e.Pending, kinds.String(), e.Active)

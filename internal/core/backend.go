@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"nearspan/internal/congest"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 	"nearspan/internal/protocols"
 )
@@ -50,13 +51,8 @@ func (d *distributedBackend) nearNeighbors(ctx context.Context, centers []int, d
 	// so the simulation itself can be skipped.
 	rounds := protocols.NearNeighborsRounds(deg, delta)
 	if len(centers) == 0 {
-		n := d.g.N()
 		d.net.RecordIdle(d.phase, protocols.StepNearNeighbors, rounds)
-		return protocols.NNResult{
-			Known:   make([]map[int64]int32, n),
-			Via:     make([]map[int64]int, n),
-			Popular: make([]bool, n),
-		}, rounds, nil
+		return protocols.EmptyNNResult(d.g.N()), rounds, nil
 	}
 	isC := membership(d.g.N(), centers)
 	return protocols.RunNearNeighbors(ctx, d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta)
@@ -93,7 +89,7 @@ func (d *distributedBackend) forest(ctx context.Context, roots []int, depth int3
 	return protocols.RunForest(ctx, d.net, d.phase, func(v int) bool { return isR[v] }, depth)
 }
 
-func (d *distributedBackend) climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+func (d *distributedBackend) climb(ctx context.Context, step string, rt *protocols.Routing, start [][]int64, keysPerVertex, pathLen int, h *edgeset.Set) (int, int, error) {
 	any := false
 	for _, s := range start {
 		if len(s) > 0 {
@@ -103,9 +99,9 @@ func (d *distributedBackend) climb(ctx context.Context, step string, via []map[i
 	}
 	if !any {
 		d.net.RecordIdle(d.phase, step, 0)
-		return map[protocols.Edge]bool{}, 0, nil
+		return 0, 0, nil
 	}
-	return protocols.RunClimb(ctx, d.net, d.phase, step, via, start, keysPerVertex, pathLen)
+	return protocols.RunClimb(ctx, d.net, d.phase, step, rt, start, keysPerVertex, pathLen, h)
 }
 
 func membership(n int, xs []int) []bool {
@@ -193,35 +189,37 @@ func (c *centralBackend) forest(ctx context.Context, roots []int, depth int32) (
 	return res, rounds, nil
 }
 
-// climb walks the pointer chains directly; the per-key visited set
-// reproduces the distributed protocol's forward-once dedupe, so the
-// marked edge set is identical.
-func (c *centralBackend) climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error) {
+// climb walks the pointer chains directly; the forwarded bitset —
+// parallel to the routing entries, exactly as in the distributed Climb
+// program — reproduces the protocol's forward-once-per-key dedupe, so
+// the marked edge set is identical. The new-edge count is taken against
+// h itself, matching the distributed extraction.
+func (c *centralBackend) climb(ctx context.Context, step string, rt *protocols.Routing, start [][]int64, keysPerVertex, pathLen int, h *edgeset.Set) (int, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return 0, 0, err
 	}
-	edges := make(map[protocols.Edge]bool)
-	visited := make(map[int64]map[int]bool) // key -> vertices that forwarded
+	added := 0
+	forwarded := rt.NewMarks() // one flag per (vertex, key) routing entry
 	for v := range start {
 		for _, k := range start[v] {
-			vis := visited[k]
-			if vis == nil {
-				vis = make(map[int]bool)
-				visited[k] = vis
-			}
 			cur := v
-			for !vis[cur] && int64(cur) != k {
-				vis[cur] = true
-				port, ok := via[cur][k]
+			for int64(cur) != k {
+				idx, ok := rt.Index(cur, k)
 				if !ok {
-					break
+					break // no pointer: trace terminates here
 				}
-				next := c.g.Neighbor(cur, port)
-				edges[protocols.NormEdge(cur, next)] = true
+				if forwarded[idx] {
+					break // this vertex already forwarded k
+				}
+				forwarded[idx] = true
+				next := c.g.Neighbor(cur, int(rt.PortAt(idx)))
+				if h.Add(cur, next) {
+					added++
+				}
 				cur = next
 			}
 		}
 	}
 	c.record(step, 0)
-	return edges, 0, nil
+	return added, 0, nil
 }

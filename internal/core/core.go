@@ -31,10 +31,10 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"nearspan/internal/cluster"
 	"nearspan/internal/congest"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 	"nearspan/internal/params"
 	"nearspan/internal/protocols"
@@ -151,14 +151,16 @@ func (r *Result) EdgeCount() int { return r.Spanner.M() }
 // backend abstracts the two execution strategies. Round counts returned
 // by the fixed-schedule steps (nearNeighbors, rulingSet, forest) are the
 // protocol budgets in both modes; climb rounds are measured in
-// distributed mode and zero centrally. beginPhase scopes the step
-// metrics each call records; steps returns the accumulated stream.
+// distributed mode and zero centrally. climb adds the traced edges into
+// h directly, returning how many were new (the step's contribution to
+// |E_H|). beginPhase scopes the step metrics each call records; steps
+// returns the accumulated stream.
 type backend interface {
 	beginPhase(i int)
 	nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error)
 	rulingSet(ctx context.Context, members []int, q int32, c int) ([]int, int, error)
 	forest(ctx context.Context, roots []int, depth int32) (protocols.ForestResult, int, error)
-	climb(ctx context.Context, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[protocols.Edge]bool, int, error)
+	climb(ctx context.Context, step string, rt *protocols.Routing, start [][]int64, keysPerVertex, pathLen int, h *edgeset.Set) (int, int, error)
 	messages() int64
 	steps() []protocols.StepMetrics
 }
@@ -195,8 +197,14 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	}
 
 	res := &Result{Params: p, Mode: opts.Mode}
-	h := make(map[protocols.Edge]bool)
+	h := edgeset.NewSet(g.N())
 	cur := cluster.Singletons(g.N())
+
+	// superclustered flags this phase's absorbed centers; the assignment
+	// maps absorbed old centers to their new supercluster centers. Both
+	// are dense and reset per phase in O(1).
+	superclustered := edgeset.NewAssignment(g.N())
+	assignment := edgeset.NewAssignment(g.N())
 
 	for i := 0; i <= p.L; i++ {
 		if err := ctx.Err(); err != nil {
@@ -217,27 +225,28 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 		}
 		ps.RoundsNN = nnRounds
 
-		superclustered := make(map[int]bool)
+		superclustered.Reset()
 		var next *cluster.Collection
 		if i < p.L {
-			next, err = superclusterPhase(ctx, bk, g, p, i, cur, nn, h, superclustered, &ps)
+			assignment.Reset()
+			next, err = superclusterPhase(ctx, bk, g, p, i, cur, nn, h, superclustered, assignment, &ps)
 			if err != nil {
 				return nil, err
 			}
 		}
 
 		// Interconnection (all phases; phase ℓ has U_ℓ = P_ℓ).
-		icEdges, icRounds, err := interconnect(ctx, bk, g, centers, nn, superclustered, p.Delta[i])
+		icEdges, icRounds, err := interconnect(ctx, bk, g, centers, nn, superclustered, p.Delta[i], h)
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d interconnect: %w", i, err)
 		}
 		ps.RoundsIC = icRounds
-		ps.EdgesIC = addEdges(h, icEdges)
+		ps.EdgesIC = icEdges
 
-		ps.Unclustered = len(centers) - len(superclustered)
+		ps.Unclustered = len(centers) - superclustered.Len()
 		ps.Messages = bk.messages() - msgsBefore
 		if opts.KeepClusters {
-			u, err := cur.Subset(g.N(), func(center int) bool { return !superclustered[center] })
+			u, err := cur.Subset(g.N(), func(center int) bool { return !superclustered.Has(center) })
 			if err != nil {
 				return nil, fmt.Errorf("core: phase %d U_i: %w", i, err)
 			}
@@ -249,7 +258,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 		}
 	}
 
-	res.Spanner = buildSpanner(g.N(), h)
+	res.Spanner = h.Graph()
 	for _, ps := range res.Phases {
 		res.TotalRounds += ps.Rounds()
 	}
@@ -259,11 +268,11 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 }
 
 // superclusterPhase runs steps 2–3 of phase i and returns P_{i+1}.
-// It fills the superclustered set, adds forest paths to h, and updates
-// ps in place.
+// It fills the superclustered set and the old-center → new-center
+// assignment, adds forest paths to h, and updates ps in place.
 func superclusterPhase(ctx context.Context, bk backend, g *graph.Graph, p *params.Params, i int,
-	cur *cluster.Collection, nn protocols.NNResult, h map[protocols.Edge]bool,
-	superclustered map[int]bool, ps *PhaseStats) (*cluster.Collection, error) {
+	cur *cluster.Collection, nn protocols.NNResult, h *edgeset.Set,
+	superclustered, assignment *edgeset.Assignment, ps *PhaseStats) (*cluster.Collection, error) {
 
 	centers := cur.Centers()
 	var popular []int
@@ -291,30 +300,25 @@ func superclusterPhase(ctx context.Context, bk backend, g *graph.Graph, p *param
 	// paths go to H via a merged climb (one key: every vertex has a
 	// single forest parent, so climbs toward different roots share the
 	// dedupe).
-	assignment := make(map[int]int)
-	via := make([]map[int64]int, g.N())
-	start := make([][]int64, g.N())
 	const forestKey = int64(-1)
-	for v := 0; v < g.N(); v++ {
-		if forest.ParentPort[v] >= 0 {
-			via[v] = map[int64]int{forestKey: forest.ParentPort[v]}
-		}
-	}
+	rt := protocols.NewForestRouting(forest.ParentPort, forestKey)
+	start := make([][]int64, g.N())
+	startKey := []int64{forestKey} // shared read-only start set
 	for _, c := range centers {
 		if forest.Dist[c] >= 0 {
-			assignment[c] = int(forest.Root[c])
-			superclustered[c] = true
+			assignment.Set(c, int32(forest.Root[c]))
+			superclustered.Set(c, 1)
 			if forest.Dist[c] > 0 {
-				start[c] = []int64{forestKey}
+				start[c] = startKey
 			}
 		}
 	}
-	scEdges, scRounds, err := bk.climb(ctx, protocols.StepForestPaths, via, start, 1, int(depth))
+	scEdges, scRounds, err := bk.climb(ctx, protocols.StepForestPaths, rt, start, 1, int(depth), h)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase %d supercluster paths: %w", i, err)
 	}
 	ps.RoundsSC = fRounds + scRounds
-	ps.EdgesSC = addEdges(h, scEdges)
+	ps.EdgesSC = scEdges
 
 	next, err := cur.Merge(g.N(), assignment)
 	if err != nil {
@@ -325,59 +329,25 @@ func superclusterPhase(ctx context.Context, bk backend, g *graph.Graph, p *param
 
 // interconnect adds, for every center not superclustered this phase, a
 // shortest path to every center it knows (all centers within δ_i, by
-// Theorem 2.1(2)).
+// Theorem 2.1(2)). The climb routes over Algorithm 1's own table, and
+// each initiating center's start-key set is its key run in that table —
+// no copies, already sorted.
 func interconnect(ctx context.Context, bk backend, g *graph.Graph, centers []int, nn protocols.NNResult,
-	superclustered map[int]bool, delta int32) (map[protocols.Edge]bool, int, error) {
+	superclustered *edgeset.Assignment, delta int32, h *edgeset.Set) (int, int, error) {
 
-	via := make([]map[int64]int, g.N())
 	start := make([][]int64, g.N())
-	for v := 0; v < g.N(); v++ {
-		via[v] = nn.Via[v]
-	}
 	maxKeys := 0
 	for _, c := range centers {
-		if superclustered[c] {
+		if superclustered.Has(c) {
 			continue
 		}
-		for target := range nn.Known[c] {
-			start[c] = append(start[c], target)
+		keys, _ := nn.Known(c)
+		if len(keys) > 0 {
+			start[c] = keys
 		}
-		if len(start[c]) > maxKeys {
-			maxKeys = len(start[c])
-		}
-	}
-	return bk.climb(ctx, protocols.StepInterconnect, via, start, maxKeys, int(delta))
-}
-
-func addEdges(h map[protocols.Edge]bool, add map[protocols.Edge]bool) int {
-	n := 0
-	for e := range add {
-		if !h[e] {
-			h[e] = true
-			n++
+		if len(keys) > maxKeys {
+			maxKeys = len(keys)
 		}
 	}
-	return n
-}
-
-func buildSpanner(n int, h map[protocols.Edge]bool) *graph.Graph {
-	hb := graph.NewBuilder(n)
-	edges := make([]protocols.Edge, 0, len(h))
-	for e := range h {
-		edges = append(edges, e)
-	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].U != edges[b].U {
-			return edges[a].U < edges[b].U
-		}
-		return edges[a].V < edges[b].V
-	})
-	for _, e := range edges {
-		// Climb edges come from adjacency ports, so they are valid and
-		// deduplicated by the map; AddEdge cannot fail here.
-		if err := hb.AddEdge(int(e.U), int(e.V)); err != nil {
-			panic("core: internal error: " + err.Error())
-		}
-	}
-	return hb.Build()
+	return bk.climb(ctx, protocols.StepInterconnect, &nn.Routing, start, maxKeys, int(delta), h)
 }

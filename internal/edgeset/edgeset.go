@@ -1,0 +1,263 @@
+// Package edgeset provides the columnar data plane of the spanner
+// construction: flat, index-addressed stores for the two objects every
+// phase mutates — the edge set of the spanner under construction (Set)
+// and per-vertex cluster bookkeeping (Assignment).
+//
+// The construction only ever appends edges and merges clusters
+// (Elkin–Matar, PODC 2019: the spanner has O(βn^{1+1/κ}) edges, built
+// phase by phase), so neither store needs hashing or deletion. Compared
+// to the map[Edge]bool / map[int]int idiom they replace, the stores keep
+// determinism structurally — iteration order is (u, v) ascending by
+// construction, not recovered by a global sort — and keep memory in a
+// handful of compact int32 slices.
+package edgeset
+
+import (
+	"fmt"
+	"iter"
+	"slices"
+
+	"nearspan/internal/graph"
+)
+
+// tailLimit bounds the unsorted per-bucket tail scanned linearly on every
+// duplicate check; beyond it the tail is sorted into a run. Spanner
+// buckets are small (O(β) edges per vertex), so most buckets never grow
+// past one run.
+const tailLimit = 16
+
+// Set is a deterministic, append-only accumulator of undirected edges
+// over vertices [0, n). Edges are normalized to u < v and bucketed by u;
+// each bucket holds a short unsorted tail plus a stack of sorted,
+// mutually duplicate-free runs of geometrically decreasing sizes (the
+// logarithmic method, as in graph.Builder). Add is O(1) amortized with
+// an O(log² deg) membership probe; iteration is (u, v) ascending without
+// any global sort, because buckets are visited in order and each bucket
+// compacts to one sorted run.
+//
+// The zero value is unusable; construct with NewSet. Not safe for
+// concurrent use.
+type Set struct {
+	buckets []bucket
+	m       int
+}
+
+type bucket struct {
+	runs [][]int32 // sorted, duplicate-free; sizes shrink left to right
+	tail []int32   // recent, unsorted, at most tailLimit
+}
+
+// NewSet returns an empty edge set over n vertices.
+func NewSet(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{buckets: make([]bucket, n)}
+}
+
+// N returns the vertex-universe size.
+func (s *Set) N() int { return len(s.buckets) }
+
+// Len returns the number of distinct edges added.
+func (s *Set) Len() int { return s.m }
+
+// Add inserts the undirected edge {u, v}, reporting whether it was new.
+// Self-loops and out-of-range endpoints panic: every caller feeds
+// adjacency-derived pairs, so a bad edge is a construction bug, not an
+// input error.
+func (s *Set) Add(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	if u == v || u < 0 || v >= len(s.buckets) {
+		panic(fmt.Sprintf("edgeset: invalid edge {%d,%d} over n=%d", u, v, len(s.buckets)))
+	}
+	b := &s.buckets[u]
+	w := int32(v)
+	if b.contains(w) {
+		return false
+	}
+	b.tail = append(b.tail, w)
+	s.m++
+	if len(b.tail) >= tailLimit {
+		b.flush()
+	}
+	return true
+}
+
+// Contains reports whether {u, v} has been added.
+func (s *Set) Contains(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	if u == v || u < 0 || v >= len(s.buckets) {
+		return false
+	}
+	return s.buckets[u].contains(int32(v))
+}
+
+func (b *bucket) contains(w int32) bool {
+	if slices.Contains(b.tail, w) {
+		return true
+	}
+	for _, run := range b.runs {
+		if _, ok := slices.BinarySearch(run, w); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// flush turns the tail into a sorted run and restores the geometric
+// run-size invariant. Add already rejected duplicates, so merges need no
+// dedupe pass.
+func (b *bucket) flush() {
+	if len(b.tail) == 0 {
+		return
+	}
+	run := b.tail
+	slices.Sort(run)
+	b.tail = nil
+	b.runs = append(b.runs, run)
+	for len(b.runs) >= 2 {
+		a, c := b.runs[len(b.runs)-2], b.runs[len(b.runs)-1]
+		if len(a) > 2*len(c) {
+			break
+		}
+		b.runs = b.runs[:len(b.runs)-2]
+		b.runs = append(b.runs, mergeRuns(a, c))
+	}
+}
+
+func mergeRuns(a, c []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(c))
+	i, j := 0, 0
+	for i < len(a) && j < len(c) {
+		if a[i] < c[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, c[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, c[j:]...)
+}
+
+// compact merges every bucket down to a single sorted run, making
+// iteration a flat scan. Idempotent; Add remains valid afterwards.
+func (s *Set) compact() {
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		b.flush()
+		for len(b.runs) > 1 {
+			a, c := b.runs[len(b.runs)-2], b.runs[len(b.runs)-1]
+			b.runs = b.runs[:len(b.runs)-2]
+			b.runs = append(b.runs, mergeRuns(a, c))
+		}
+	}
+}
+
+// All yields every edge as (u, v) with u < v, ascending by u then v —
+// the canonical order, produced structurally rather than by sorting.
+// The sequence snapshots the set as of the All call: iterate it before
+// any further Add, or call All again to observe the additions.
+func (s *Set) All() iter.Seq2[int32, int32] {
+	s.compact()
+	return func(yield func(u, v int32) bool) {
+		for u := range s.buckets {
+			b := &s.buckets[u]
+			if len(b.runs) == 0 {
+				continue
+			}
+			for _, v := range b.runs[0] {
+				if !yield(int32(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AddSet adds every edge of o, returning how many were new. Used where a
+// protocol step accumulates edges locally (with step-local dedupe
+// semantics) before the phase merges them into the spanner.
+func (s *Set) AddSet(o *Set) int {
+	added := 0
+	for u, v := range o.All() {
+		if s.Add(int(u), int(v)) {
+			added++
+		}
+	}
+	return added
+}
+
+// Graph freezes the set into a CSR graph over n = N() vertices. The
+// emission is direct: bucket order yields edges sorted by (u, v), which
+// fills every adjacency list in ascending order in one pass — no
+// builder, no re-dedupe, no per-vertex sort.
+func (s *Set) Graph() *graph.Graph {
+	s.compact()
+	return graph.FromSortedEdgeSeq(len(s.buckets), s.m, s.All())
+}
+
+// Assignment is a dense vertex-keyed map with O(1) clear: an int32 value
+// slice stamped by a generation counter. It replaces the map[int]int /
+// map[int]bool cluster bookkeeping (superclustering assignments, spanned
+// sets, per-iteration seen-sets) with two flat slices that are never
+// reallocated across phases.
+//
+// The zero value is unusable; construct with NewAssignment.
+type Assignment struct {
+	val []int32
+	gen []uint32
+	cur uint32
+	n   int
+}
+
+// NewAssignment returns an empty assignment over vertices [0, n).
+func NewAssignment(n int) *Assignment {
+	if n < 0 {
+		n = 0
+	}
+	return &Assignment{val: make([]int32, n), gen: make([]uint32, n), cur: 1}
+}
+
+// Reset clears the assignment in O(1) by bumping the generation.
+func (a *Assignment) Reset() {
+	a.cur++
+	a.n = 0
+	if a.cur == 0 { // generation wrap: restamp so stale entries cannot alias
+		for i := range a.gen {
+			a.gen[i] = 0
+		}
+		a.cur = 1
+	}
+}
+
+// Set assigns value x to vertex v.
+func (a *Assignment) Set(v int, x int32) {
+	if a.gen[v] != a.cur {
+		a.gen[v] = a.cur
+		a.n++
+	}
+	a.val[v] = x
+}
+
+// Get returns v's assigned value and whether v is assigned.
+func (a *Assignment) Get(v int) (int32, bool) {
+	if a.gen[v] != a.cur {
+		return 0, false
+	}
+	return a.val[v], true
+}
+
+// Has reports whether v is assigned.
+func (a *Assignment) Has(v int) bool { return a.gen[v] == a.cur }
+
+// Len returns the number of assigned vertices.
+func (a *Assignment) Len() int { return a.n }
+
+// Cap returns the vertex-universe size.
+func (a *Assignment) Cap() int { return len(a.val) }

@@ -1,0 +1,189 @@
+package edgeset
+
+import (
+	"testing"
+
+	"nearspan/internal/graph"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(5)
+	if s.Len() != 0 || s.N() != 5 {
+		t.Fatalf("fresh set: Len=%d N=%d", s.Len(), s.N())
+	}
+	if !s.Add(3, 1) {
+		t.Error("first add not new")
+	}
+	if s.Add(1, 3) {
+		t.Error("normalized duplicate reported new")
+	}
+	if !s.Contains(1, 3) || !s.Contains(3, 1) {
+		t.Error("Contains misses in either orientation")
+	}
+	if s.Contains(0, 2) {
+		t.Error("Contains finds absent edge")
+	}
+	if s.Contains(1, 1) || s.Contains(-1, 2) || s.Contains(1, 99) {
+		t.Error("Contains accepts invalid edges")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len=%d after one distinct add", s.Len())
+	}
+}
+
+func TestSetAddPanicsOnInvalid(t *testing.T) {
+	for _, e := range [][2]int{{2, 2}, {-1, 3}, {0, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d,%d) did not panic", e[0], e[1])
+				}
+			}()
+			NewSet(5).Add(e[0], e[1])
+		}()
+	}
+}
+
+// Iteration is (u, v) ascending regardless of insertion order, with no
+// global sort — the determinism-without-sorting property core relies on.
+func TestSetIterationCanonicalOrder(t *testing.T) {
+	s := NewSet(100)
+	// Insert in a scrambled order with enough volume to force flushes.
+	for i := 97; i >= 0; i-- {
+		for j := i + 1; j < 100; j += 7 {
+			s.Add(j, i) // reversed orientation on purpose
+		}
+	}
+	var prev [2]int32 = [2]int32{-1, -1}
+	count := 0
+	for u, v := range s.All() {
+		if u >= v {
+			t.Fatalf("edge {%d,%d} not normalized", u, v)
+		}
+		if u < prev[0] || (u == prev[0] && v <= prev[1]) {
+			t.Fatalf("iteration out of order: {%d,%d} after {%d,%d}", u, v, prev[0], prev[1])
+		}
+		prev = [2]int32{u, v}
+		count++
+	}
+	if count != s.Len() {
+		t.Errorf("iterated %d edges, Len=%d", count, s.Len())
+	}
+}
+
+func TestSetGraphMatchesBuilder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}, {4, 0}}
+	s := NewSet(5)
+	b := graph.NewBuilder(5)
+	for _, e := range edges {
+		s.Add(e[0], e[1])
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := s.Graph(), b.Build()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("graph shape: got (%d,%d), want (%d,%d)", got.N(), got.M(), want.N(), want.M())
+	}
+	want.Edges(func(u, v int) {
+		if !got.HasEdge(u, v) {
+			t.Errorf("edge {%d,%d} missing from emitted CSR", u, v)
+		}
+	})
+	for v := 0; v < got.N(); v++ {
+		if got.Degree(v) != want.Degree(v) {
+			t.Errorf("degree of %d: got %d, want %d", v, got.Degree(v), want.Degree(v))
+		}
+	}
+	if got.MaxDegree() != want.MaxDegree() {
+		t.Errorf("MaxDegree: got %d, want %d", got.MaxDegree(), want.MaxDegree())
+	}
+}
+
+func TestSetAddAfterGraph(t *testing.T) {
+	s := NewSet(4)
+	s.Add(0, 1)
+	g1 := s.Graph()
+	if !s.Add(2, 3) {
+		t.Error("Add after Graph broken")
+	}
+	if s.Add(0, 1) {
+		t.Error("dedupe lost after compaction")
+	}
+	g2 := s.Graph()
+	if g1.M() != 1 || g2.M() != 2 {
+		t.Errorf("graphs have %d and %d edges, want 1 and 2", g1.M(), g2.M())
+	}
+}
+
+func TestSetAddSet(t *testing.T) {
+	a, b := NewSet(6), NewSet(6)
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b.Add(1, 2)
+	b.Add(3, 4)
+	b.Add(4, 5)
+	if added := a.AddSet(b); added != 2 {
+		t.Errorf("AddSet added %d, want 2 (one overlap)", added)
+	}
+	if a.Len() != 4 {
+		t.Errorf("merged Len=%d, want 4", a.Len())
+	}
+}
+
+func TestEmptySetGraph(t *testing.T) {
+	g := NewSet(3).Graph()
+	if g.N() != 3 || g.M() != 0 {
+		t.Errorf("empty emission: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestAssignment(t *testing.T) {
+	a := NewAssignment(4)
+	if a.Len() != 0 || a.Cap() != 4 {
+		t.Fatalf("fresh assignment: Len=%d Cap=%d", a.Len(), a.Cap())
+	}
+	a.Set(2, 7)
+	a.Set(0, -1)
+	a.Set(2, 9) // overwrite, not a new entry
+	if a.Len() != 2 {
+		t.Errorf("Len=%d, want 2", a.Len())
+	}
+	if x, ok := a.Get(2); !ok || x != 9 {
+		t.Errorf("Get(2)=(%d,%v)", x, ok)
+	}
+	if x, ok := a.Get(0); !ok || x != -1 {
+		t.Errorf("Get(0)=(%d,%v): negative values must round-trip", x, ok)
+	}
+	if a.Has(1) {
+		t.Error("Has(1) true without Set")
+	}
+	a.Reset()
+	if a.Len() != 0 || a.Has(2) || a.Has(0) {
+		t.Error("Reset did not clear")
+	}
+	if _, ok := a.Get(2); ok {
+		t.Error("Get finds entry across Reset")
+	}
+	a.Set(3, 5)
+	if x, ok := a.Get(3); !ok || x != 5 || a.Len() != 1 {
+		t.Error("assignment unusable after Reset")
+	}
+}
+
+// Generation wrap: after 2^32 resets the stamps must not alias stale
+// entries. Simulated by forcing the counter near the wrap point.
+func TestAssignmentGenerationWrap(t *testing.T) {
+	a := NewAssignment(3)
+	a.Set(1, 42)
+	a.cur = ^uint32(0) // next Reset wraps
+	a.gen[2] = ^uint32(0)
+	a.Reset()
+	if a.Has(1) || a.Has(2) {
+		t.Error("stale entry visible after generation wrap")
+	}
+	a.Set(0, 1)
+	if !a.Has(0) || a.Has(1) || a.Has(2) {
+		t.Error("assignment inconsistent after wrap")
+	}
+}

@@ -1,0 +1,63 @@
+package edgeset
+
+import "testing"
+
+// FuzzSetSortedRunDedup feeds arbitrary byte streams as edge sequences
+// into the sorted-run machinery (Add → tail → flush → geometric merges →
+// compact) and cross-checks every observable against a map model. The
+// vertex universe is kept small (n=17) so the fuzzer hammers duplicate
+// handling, run merges, and bucket compaction rather than wandering a
+// sparse key space.
+func FuzzSetSortedRunDedup(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 3})
+	f.Add([]byte{5, 6, 6, 5, 5, 7, 5, 8, 5, 9, 5, 10, 5, 11, 5, 12, 5, 13, 5, 14, 5, 15, 5, 16, 5, 6})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 17
+		s := NewSet(n)
+		ref := map[[2]int32]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			k := normKey(u, v)
+			wantNew := !ref[k]
+			ref[k] = true
+			if s.Add(u, v) != wantNew {
+				t.Fatalf("Add(%d,%d): newness disagrees with model", u, v)
+			}
+			if !s.Contains(u, v) {
+				t.Fatalf("Contains(%d,%d) false right after Add", u, v)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len=%d, model %d", s.Len(), len(ref))
+		}
+		var prev [2]int32 = [2]int32{-1, -1}
+		count := 0
+		for u, v := range s.All() {
+			if !ref[[2]int32{u, v}] {
+				t.Fatalf("iteration yields {%d,%d} not in model", u, v)
+			}
+			if u < prev[0] || (u == prev[0] && v <= prev[1]) {
+				t.Fatalf("iteration unsorted/duplicated at {%d,%d}", u, v)
+			}
+			prev = [2]int32{u, v}
+			count++
+		}
+		if count != len(ref) {
+			t.Fatalf("iterated %d edges, model %d", count, len(ref))
+		}
+		// CSR emission round-trips.
+		g := s.Graph()
+		if g.M() != len(ref) {
+			t.Fatalf("emitted graph has %d edges, model %d", g.M(), len(ref))
+		}
+		for k := range ref {
+			if !g.HasEdge(int(k[0]), int(k[1])) {
+				t.Fatalf("emitted graph missing {%d,%d}", k[0], k[1])
+			}
+		}
+	})
+}

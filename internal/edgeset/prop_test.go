@@ -1,0 +1,149 @@
+package edgeset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refModel is the map[Edge]bool reference the Set replaced; the property
+// tests drive both through random interleavings of Add, AddSet (merge),
+// Contains, and iteration, and demand observational equivalence.
+type refModel map[[2]int32]bool
+
+func (m refModel) add(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	k := [2]int32{int32(u), int32(v)}
+	if m[k] {
+		return false
+	}
+	m[k] = true
+	return true
+}
+
+// TestPropSetMatchesMapModel: under a random operation sequence the Set
+// agrees with the map model on every Add return, Contains probe, Len,
+// and the full iterated edge list (which must also be sorted).
+func TestPropSetMatchesMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		s := NewSet(n)
+		ref := refModel{}
+		ops := 1 + r.Intn(400)
+		for i := 0; i < ops; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			switch r.Intn(4) {
+			case 0, 1: // Add, biased to dominate
+				if s.Add(u, v) != ref.add(u, v) {
+					t.Logf("Add(%d,%d) disagrees with model", u, v)
+					return false
+				}
+			case 2: // Contains
+				if s.Contains(u, v) != ref[normKey(u, v)] {
+					t.Logf("Contains(%d,%d) disagrees with model", u, v)
+					return false
+				}
+			case 3: // merge a small random set in
+				o := NewSet(n)
+				oref := refModel{}
+				for j := r.Intn(8); j > 0; j-- {
+					a, b := r.Intn(n), r.Intn(n)
+					if a != b {
+						o.Add(a, b)
+						oref.add(a, b)
+					}
+				}
+				wantNew := 0
+				for k := range oref {
+					if !ref[k] {
+						wantNew++
+						ref[k] = true
+					}
+				}
+				if got := s.AddSet(o); got != wantNew {
+					t.Logf("AddSet added %d, model says %d", got, wantNew)
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Logf("Len=%d, model %d", s.Len(), len(ref))
+			return false
+		}
+		// Iterated list: sorted, duplicate-free, exactly the model's set.
+		var prev [2]int32 = [2]int32{-1, -1}
+		seen := 0
+		for u, v := range s.All() {
+			k := [2]int32{u, v}
+			if !ref[k] {
+				t.Logf("iteration yields {%d,%d} not in model", u, v)
+				return false
+			}
+			if u < prev[0] || (u == prev[0] && v <= prev[1]) {
+				t.Logf("iteration unsorted at {%d,%d}", u, v)
+				return false
+			}
+			prev = k
+			seen++
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func normKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+// TestPropAssignmentMatchesMapModel: Assignment under random
+// Set/Get/Reset interleavings behaves like a fresh map per generation.
+func TestPropAssignmentMatchesMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		a := NewAssignment(n)
+		ref := map[int]int32{}
+		for i := 0; i < 300; i++ {
+			v := r.Intn(n)
+			switch r.Intn(5) {
+			case 0, 1:
+				x := int32(r.Intn(200) - 100)
+				a.Set(v, x)
+				ref[v] = x
+			case 2:
+				gx, gok := a.Get(v)
+				wx, wok := ref[v]
+				if gok != wok || (gok && gx != wx) {
+					return false
+				}
+			case 3:
+				if a.Has(v) != (func() bool { _, ok := ref[v]; return ok })() {
+					return false
+				}
+			case 4:
+				if r.Intn(10) == 0 { // occasional generation clear
+					a.Reset()
+					ref = map[int]int32{}
+				}
+			}
+			if a.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"time"
 
 	"nearspan/internal/baseline"
@@ -284,7 +284,7 @@ func simulateNN(g *graph.Graph, centers []int, deg int, delta int32, reforward b
 			for c := range buffer[v] {
 				ids = append(ids, c)
 			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			slices.Sort(ids)
 			queued := 0
 			for _, c := range ids {
 				_, isKnown := known[v][c]

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"slices"
+	"testing"
+
+	"nearspan/internal/congest"
+	"nearspan/internal/core"
+	"nearspan/internal/edgeset"
+	"nearspan/internal/gen"
+	"nearspan/internal/graph"
+	"nearspan/internal/params"
+	"nearspan/internal/protocols"
+	"nearspan/internal/rng"
+)
+
+// BenchResult is one benchmark's measurement in the machine-readable
+// perf baseline (BENCH_core.json).
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the document written by `cmd/experiments -bench-json`.
+type BenchReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	MaxProcs    int           `json:"go_maxprocs"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+}
+
+// BenchJSON runs the spanner-assembly and engine benchmarks through
+// testing.Benchmark and writes the results as JSON — the perf trajectory
+// artifact CI uploads on every run, so future changes have a
+// machine-readable ns/op, B/op, allocs/op baseline to diff against
+// instead of eyeballing bench logs.
+//
+// The assembly pair measures the columnar data plane against the
+// pre-columnar map plane (kept here as a reference implementation) on
+// the 500k-edge workload; the engine rows measure the full distributed
+// construction per CONGEST engine.
+func BenchJSON(w io.Writer) error {
+	rep := BenchReport{
+		GeneratedBy: "cmd/experiments -bench-json",
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	record := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	// --- Spanner assembly: map plane (reference) vs columnar plane ---
+	const an = 100_000
+	const am = 500_000
+	stream := AssemblyWorkload(an, am)
+	record("assembly/map-plane/500k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AssembleMapPlane(an, stream)
+		}
+	})
+	record("assembly/columnar/500k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AssembleColumnar(an, stream)
+		}
+	})
+
+	// --- Full distributed construction per engine ---
+	g := gen.GNP(1024, 16.0/1024, 17, true)
+	p, err := params.New(1.0/3, 3, 0.49, g.N())
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	for _, eng := range congest.Engines() {
+		record("engine/"+eng.String()+"/gnp-1024", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(context.Background(), g, p, core.Options{
+					Mode: core.ModeDistributed, Engine: eng,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The centralized reference, which the assembly plane dominates.
+	record("build/centralized/gnp-1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(context.Background(), g, p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// AssemblyWorkload generates the spanner-assembly stream both the root
+// BenchmarkSpannerAssembly and the bench-json baseline measure: random
+// normalized pairs with ~20% re-emissions (the overlap between
+// forest-path and interconnection climbs that the dedupe absorbs).
+// One definition serves both so the committed baseline and the bench
+// suite always measure the identical workload.
+func AssemblyWorkload(n, m int) [][2]int32 {
+	r := rng.New(0xA55E1B1E)
+	out := make([][2]int32, 0, m+m/4)
+	for len(out) < m {
+		u := int32(r.Uint64() % uint64(n))
+		v := int32(r.Uint64() % uint64(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		out = append(out, [2]int32{u, v})
+		if len(out)%4 == 0 {
+			out = append(out, out[int(r.Uint64()%uint64(len(out)))])
+		}
+	}
+	return out
+}
+
+// AssembleMapPlane is the pre-columnar assembly pipeline, preserved as
+// the benchmark reference: map[Edge]bool accumulation, a global key
+// sort to recover determinism, then the re-deduping graph.Builder.
+func AssembleMapPlane(n int, stream [][2]int32) *graph.Graph {
+	h := make(map[protocols.Edge]bool)
+	for _, e := range stream {
+		h[protocols.Edge{U: e[0], V: e[1]}] = true
+	}
+	edges := make([]protocols.Edge, 0, len(h))
+	for e := range h {
+		edges = append(edges, e)
+	}
+	slices.SortFunc(edges, func(a, c protocols.Edge) int {
+		if a.U != c.U {
+			return int(a.U) - int(c.U)
+		}
+		return int(a.V) - int(c.V)
+	})
+	hb := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := hb.AddEdge(int(e.U), int(e.V)); err != nil {
+			panic("experiments: map-plane assembly: " + err.Error())
+		}
+	}
+	return hb.Build()
+}
+
+// AssembleColumnar is the current assembly pipeline: edgeset.Set
+// accumulation with direct CSR emission.
+func AssembleColumnar(n int, stream [][2]int32) *graph.Graph {
+	h := edgeset.NewSet(n)
+	for _, e := range stream {
+		h.Add(int(e[0]), int(e[1]))
+	}
+	return h.Graph()
+}

@@ -4,7 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
+	"maps"
+	"slices"
 
 	"nearspan/internal/cluster"
 	"nearspan/internal/congest"
@@ -324,11 +325,7 @@ func figure78(w io.Writer, g *graph.Graph, p *params.Params, res *core.Result) {
 	t := stats.NewTable("  measured stretch by d_G bucket",
 		"d_G range", "pairs", "worst additive", "mean ratio",
 		fmt.Sprintf("bound (1+%.2f)d+%d ok", p.EpsPrime(), p.BetaInt()))
-	keys := make([]int, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
+	keys := slices.Sorted(maps.Keys(buckets))
 	allOK := true
 	for _, k := range keys {
 		bk := buckets[k]

@@ -11,7 +11,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"iter"
+	"slices"
 )
 
 // Builder accumulates edges and produces an immutable Graph. The zero
@@ -74,22 +75,11 @@ func (b *Builder) HasEdge(u, v int) bool {
 }
 
 func (b *Builder) contains(key [2]int32) bool {
-	for _, e := range b.buf {
-		if e == key {
-			return true
-		}
+	if slices.Contains(b.buf, key) {
+		return true
 	}
 	for _, run := range b.runs {
-		lo, hi := 0, len(run)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if edgeLess(run[mid], key) {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(run) && run[lo] == key {
+		if _, ok := slices.BinarySearchFunc(run, key, cmpEdge); ok {
 			return true
 		}
 	}
@@ -104,7 +94,7 @@ func (b *Builder) flush() {
 		return
 	}
 	run := b.buf
-	sort.Slice(run, func(i, j int) bool { return edgeLess(run[i], run[j]) })
+	slices.SortFunc(run, cmpEdge)
 	b.buf = make([][2]int32, 0, builderBufLimit)
 	b.runs = append(b.runs, run)
 	for len(b.runs) >= 2 {
@@ -138,6 +128,13 @@ func edgeLess(a, c [2]int32) bool {
 		return a[0] < c[0]
 	}
 	return a[1] < c[1]
+}
+
+func cmpEdge(a, c [2]int32) int {
+	if a[0] != c[0] {
+		return int(a[0]) - int(c[0])
+	}
+	return int(a[1]) - int(c[1])
 }
 
 // NumEdges returns the number of edges added so far.
@@ -194,13 +191,51 @@ func fromEdges(n int, edges [][2]int32) *Graph {
 	degMax := 0
 	for v := 0; v < n; v++ {
 		lo, hi := offs[v], offs[v+1]
-		s := adj[lo:hi]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		slices.Sort(adj[lo:hi])
 		if d := int(hi - lo); d > degMax {
 			degMax = d
 		}
 	}
 	return &Graph{n: n, m: len(edges), offs: offs, adj: adj, degMax: degMax}
+}
+
+// FromSortedEdgeSeq builds a CSR graph directly from a re-iterable
+// stream of exactly m deduplicated edges, each normalized u < v and
+// yielded in ascending (u, v) order. This is the emission path of
+// edgeset.Set: because edges arrive sorted by the smaller endpoint, each
+// vertex w receives first its smaller neighbors (from buckets a < w, in
+// ascending a) and then its larger neighbors (from bucket w, in
+// ascending v) — every adjacency list fills already sorted, so unlike
+// Builder.Build no per-vertex sort and no duplicate probe is needed.
+//
+// The caller guarantees order, dedup, and range validity; violations
+// corrupt the adjacency structure rather than erroring. seq must yield
+// the same edges on both passes (degree count, then fill).
+func FromSortedEdgeSeq(n, m int, seq iter.Seq2[int32, int32]) *Graph {
+	offs := make([]int32, n+1)
+	for u, v := range seq {
+		offs[u+1]++
+		offs[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		offs[v+1] += offs[v]
+	}
+	adj := make([]int32, 2*m)
+	fill := make([]int32, n)
+	copy(fill, offs[:n])
+	for u, v := range seq {
+		adj[fill[u]] = v
+		fill[u]++
+		adj[fill[v]] = u
+		fill[v]++
+	}
+	degMax := 0
+	for v := 0; v < n; v++ {
+		if d := int(offs[v+1] - offs[v]); d > degMax {
+			degMax = d
+		}
+	}
+	return &Graph{n: n, m: m, offs: offs, adj: adj, degMax: degMax}
 }
 
 // N returns the number of vertices.

@@ -36,7 +36,7 @@ type Oracle struct {
 
 	cache    map[int][]int32 // BFS levels in the spanner, by source
 	capacity int
-	order    []int // FIFO eviction order
+	order    []int // LRU order: least recently used first
 }
 
 // Options configure the oracle.
@@ -150,8 +150,17 @@ func (o *Oracle) Clone() *Oracle {
 	}
 }
 
+// levels returns the BFS level array for source u through the bounded
+// LRU cache: a hit moves u to the most-recently-used position, a miss
+// computes the BFS and evicts the least recently used source if the
+// cache is full. LRU (rather than FIFO) keeps hot sources resident under
+// the skewed query mixes the batch APIs see — repeated Pairs batches
+// over a working set larger than one batch would otherwise evict their
+// own sources between batches. Capacity is small (default 16), so the
+// slice-based recency list beats a linked structure.
 func (o *Oracle) levels(u int) []int32 {
 	if lv, ok := o.cache[u]; ok {
+		o.touch(u)
 		return lv
 	}
 	lv := o.spanner.BFS(u)
@@ -163,4 +172,15 @@ func (o *Oracle) levels(u int) []int32 {
 	o.cache[u] = lv
 	o.order = append(o.order, u)
 	return lv
+}
+
+// touch moves u to the most-recently-used end of the recency list.
+func (o *Oracle) touch(u int) {
+	for i, x := range o.order {
+		if x == u {
+			copy(o.order[i:], o.order[i+1:])
+			o.order[len(o.order)-1] = u
+			return
+		}
+	}
 }

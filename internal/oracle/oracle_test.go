@@ -82,6 +82,33 @@ func TestOracleCacheEviction(t *testing.T) {
 	}
 }
 
+// The cache is LRU, not FIFO: re-querying a resident source refreshes
+// it, so the next eviction removes the colder entry.
+func TestOracleCacheLRU(t *testing.T) {
+	g := gen.Grid(8, 8)
+	o, err := New(g, Options{Eps: 0.5, Kappa: 4, Rho: 0.45, CacheSources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Dist(0, 63) // cache: [0]
+	o.Dist(1, 63) // cache: [0, 1]
+	o.Dist(0, 63) // hit refreshes 0 -> cache: [1, 0]
+	o.Dist(2, 63) // evicts 1, not 0 -> cache: [0, 2]
+	if _, ok := o.cache[0]; !ok {
+		t.Error("LRU evicted the recently touched source 0")
+	}
+	if _, ok := o.cache[1]; ok {
+		t.Error("LRU kept the least recently used source 1")
+	}
+	if _, ok := o.cache[2]; !ok {
+		t.Error("newly queried source 2 not cached")
+	}
+	// Answers stay correct throughout.
+	if o.Dist(1, 63) < g.Distance(1, 63) {
+		t.Error("underestimate after LRU churn")
+	}
+}
+
 func TestOracleFromSpanner(t *testing.T) {
 	g := gen.Torus(8, 8)
 	p, err := params.New(0.5, 4, 0.45, g.N())

@@ -1,9 +1,10 @@
 package protocols
 
 import (
-	"sort"
+	"slices"
 
 	"nearspan/internal/congest"
+	"nearspan/internal/edgeset"
 )
 
 // Climb traces paths through per-vertex routing pointers and records the
@@ -11,47 +12,53 @@ import (
 // adds to H.
 //
 // Each trace is identified by a key. A vertex that participates in a
-// trace for key k looks up its outgoing port in Via[k] and forwards the
-// trace exactly once per key, ever — traces for the same key from
-// different initiators merge, which both bounds congestion and keeps the
-// added edge set minimal (the pointers for one key form a tree directed
-// toward the key's target, so one forwarding per vertex marks the whole
-// root path).
+// trace for key k looks up its outgoing port in the routing run and
+// forwards the trace exactly once per key, ever — traces for the same
+// key from different initiators merge, which both bounds congestion and
+// keeps the added edge set minimal (the pointers for one key form a tree
+// directed toward the key's target, so one forwarding per vertex marks
+// the whole root path).
 //
 // Two modes cover the paper's uses:
 //
-//   - Superclustering (Fig. 4): keys are root IDs and Via holds BFS-forest
-//     parent ports; spanned cluster centers initiate, and the forest path
-//     from each spanned center to its root lands in H.
-//   - Interconnection (Fig. 5): keys are cluster-center IDs and Via holds
-//     the ports recorded by Algorithm 1; an unpopular center initiates one
-//     trace per nearby center, and a shortest path to each lands in H.
+//   - Superclustering (Fig. 4): keys are root IDs and the routing holds
+//     BFS-forest parent ports; spanned cluster centers initiate, and the
+//     forest path from each spanned center to its root lands in H.
+//   - Interconnection (Fig. 5): keys are cluster-center IDs and the
+//     routing holds the ports recorded by Algorithm 1; an unpopular
+//     center initiates one trace per nearby center, and a shortest path
+//     to each lands in H.
 //
 // Per round, a vertex sends at most one queued trace per port, so the
 // protocol respects bandwidth 1. It is message-driven: run with
 // RunUntilQuiet.
 type Climb struct {
-	// Via maps a key to the port toward that key's target. Missing keys
-	// terminate the trace at this vertex (roots in forest mode).
-	Via map[int64]int
-	// Start lists keys whose traces this vertex initiates.
+	// Keys and Ports are the vertex's routing run (Routing.At): for key
+	// Keys[i], the trace forwards over port Ports[i]. Keys absent from
+	// the run terminate the trace at this vertex (roots in forest mode).
+	Keys  []int64
+	Ports []int32
+	// Start lists keys whose traces this vertex initiates, sorted
+	// ascending (the deterministic initiation order; an unsorted slice is
+	// cloned and sorted defensively).
 	Start []int64
 
 	// MarkedPorts lists the ports whose edges this vertex added to H.
-	MarkedPorts []int
+	MarkedPorts []int32
 
-	forwarded map[int64]bool
+	forwarded []bool // parallel to Keys: forwarded this key already
 	queues    [][]int64
 }
 
 var _ congest.Program = (*Climb)(nil)
 
-// NewClimb returns a factory over per-vertex routing tables and start
-// sets. via[v] may be nil for vertices with no pointers; start[v] may be
-// nil for non-initiators.
-func NewClimb(via []map[int64]int, start [][]int64) func(v int) congest.Program {
+// NewClimb returns a factory over the routing plane and per-vertex start
+// sets. start[v] may be nil for non-initiators; non-nil slices must be
+// sorted ascending (NNResult runs and single-key forest starts are).
+func NewClimb(rt *Routing, start [][]int64) func(v int) congest.Program {
 	return func(v int) congest.Program {
-		return &Climb{Via: via[v], Start: start[v]}
+		keys, ports := rt.At(v)
+		return &Climb{Keys: keys, Ports: ports, Start: start[v]}
 	}
 }
 
@@ -65,11 +72,13 @@ func ClimbMaxRounds(keysPerVertex, pathLen int) int {
 
 // Init implements congest.Program.
 func (c *Climb) Init(env *congest.Env) {
-	c.forwarded = make(map[int64]bool, len(c.Start))
+	c.forwarded = make([]bool, len(c.Keys))
 	c.queues = make([][]int64, env.Degree())
-	// Deterministic initiation order: ascending key.
-	keys := append([]int64(nil), c.Start...)
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := c.Start
+	if !slices.IsSorted(keys) {
+		keys = slices.Clone(keys)
+		slices.Sort(keys)
+	}
 	for _, k := range keys {
 		c.accept(env, k)
 	}
@@ -88,19 +97,22 @@ func (c *Climb) Round(env *congest.Env, recv []congest.Inbound) {
 }
 
 // accept handles participation in the trace for key k: mark the outgoing
-// edge and enqueue the forward, once per key.
+// edge and enqueue the forward, once per key. Keys the vertex has no
+// pointer for (or that target the vertex itself) terminate here; they
+// need no dedupe because repeats have no effect.
 func (c *Climb) accept(env *congest.Env, k int64) {
-	if c.forwarded[k] {
-		return
-	}
-	c.forwarded[k] = true
 	if int64(env.ID()) == k {
 		return // reached the target
 	}
-	port, ok := c.Via[k]
+	i, ok := slices.BinarySearch(c.Keys, k)
 	if !ok {
 		return // root / no pointer: trace terminates here
 	}
+	if c.forwarded[i] {
+		return
+	}
+	c.forwarded[i] = true
+	port := c.Ports[i]
 	c.MarkedPorts = append(c.MarkedPorts, port)
 	c.queues[port] = append(c.queues[port], k)
 }
@@ -135,16 +147,20 @@ func NormEdge(u, v int) Edge {
 	return Edge{U: int32(u), V: int32(v)}
 }
 
-// ExtractClimbEdges collects the union of marked edges from a finished
-// Climb simulation.
-func ExtractClimbEdges(sim *congest.Simulator) map[Edge]bool {
+// ExtractClimbEdges adds the union of marked edges from a finished Climb
+// simulation into the given set, returning how many were new to it. The
+// construction passes the spanner accumulator H directly, so climb
+// results land in the spanner without an intermediate edge map.
+func ExtractClimbEdges(sim *congest.Simulator, into *edgeset.Set) int {
 	g := sim.Graph()
-	out := make(map[Edge]bool)
+	added := 0
 	for v := 0; v < g.N(); v++ {
 		p := sim.Program(v).(*Climb)
 		for _, port := range p.MarkedPorts {
-			out[NormEdge(v, g.Neighbor(v, port))] = true
+			if into.Add(v, g.Neighbor(v, int(port))) {
+				added++
+			}
 		}
 	}
-	return out
+	return added
 }

@@ -1,7 +1,7 @@
 package protocols
 
 import (
-	"sort"
+	"slices"
 
 	"nearspan/internal/congest"
 )
@@ -176,7 +176,7 @@ func (nn *NearNeighbors) finalize(dist int32) {
 	for c := range nn.buffer {
 		ids = append(ids, c)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, c := range ids {
 		// Forward set: first Deg+1 heard, independent of storage.
 		if len(nn.queue) < nn.forwardBudget() && dist < nn.Delta {
@@ -197,27 +197,87 @@ func nnMsg(center int64, dist int32) congest.Message {
 	return congest.Message{Kind: kindNN, Words: [congest.MessageWords]int64{center, int64(dist)}}
 }
 
-// NNResult is the per-vertex outcome of a NearNeighbors run.
+// NNResult is the aggregate outcome of a NearNeighbors run, stored
+// columnar: the embedded Routing holds, per vertex, the run of known
+// center IDs (sorted ascending) with the port toward each (the Via
+// pointer), and Dist holds the exact distance parallel to those entries.
+// Interconnection climbs route over the embedded table directly, and a
+// vertex's start-key set is its key run — both without copying.
 type NNResult struct {
-	Known   []map[int64]int32
-	Via     []map[int64]int
+	Routing
+	// Dist is parallel to the routing entries: Dist[i] is the distance
+	// from the run's vertex to center keys[i].
+	Dist    []int32
 	Popular []bool
+}
+
+// Known returns the centers v learned about (sorted ascending) and the
+// distances to them, as parallel slices aliasing the table.
+func (r *NNResult) Known(v int) (centers []int64, dist []int32) {
+	lo, hi := r.off[v], r.off[v+1]
+	return r.keys[lo:hi], r.Dist[lo:hi]
+}
+
+// DistTo returns v's stored distance to center c, if stored.
+func (r *NNResult) DistTo(v int, c int64) (int32, bool) {
+	keys, _ := r.At(v)
+	if i, ok := slices.BinarySearch(keys, c); ok {
+		return r.Dist[int(r.off[v])+i], true
+	}
+	return 0, false
+}
+
+// EmptyNNResult is the result of a run with no centers: nothing known,
+// nobody popular.
+func EmptyNNResult(n int) NNResult {
+	return NNResult{
+		Routing: Routing{off: make([]int32, n+1)},
+		Popular: make([]bool, n),
+	}
+}
+
+// buildNNResult flattens per-vertex known/via maps into the canonical
+// columnar layout (each vertex's run sorted ascending by center ID).
+// Shared by the distributed extraction and the centralized oracle, so
+// both produce bit-identical tables when their decisions agree.
+func buildNNResult(n int, known []map[int64]int32, via []map[int64]int, popular []bool) NNResult {
+	off := make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(known[v])
+		off[v+1] = int32(total)
+	}
+	keys := make([]int64, total)
+	dist := make([]int32, total)
+	ports := make([]int32, total)
+	for v := 0; v < n; v++ {
+		run := keys[off[v]:off[v+1]]
+		i := 0
+		for c := range known[v] {
+			run[i] = c
+			i++
+		}
+		slices.Sort(run)
+		for j, c := range run {
+			dist[int(off[v])+j] = known[v][c]
+			ports[int(off[v])+j] = int32(via[v][c])
+		}
+	}
+	return NNResult{Routing: Routing{off: off, keys: keys, ports: ports}, Dist: dist, Popular: popular}
 }
 
 // ExtractNN collects results from a finished simulator whose programs
 // are *NearNeighbors.
 func ExtractNN(sim *congest.Simulator) NNResult {
 	n := sim.Graph().N()
-	res := NNResult{
-		Known:   make([]map[int64]int32, n),
-		Via:     make([]map[int64]int, n),
-		Popular: make([]bool, n),
-	}
+	known := make([]map[int64]int32, n)
+	via := make([]map[int64]int, n)
+	popular := make([]bool, n)
 	for v := 0; v < n; v++ {
 		p := sim.Program(v).(*NearNeighbors)
-		res.Known[v] = p.Known
-		res.Via[v] = p.Via
-		res.Popular[v] = p.Popular()
+		known[v] = p.Known
+		via[v] = p.Via
+		popular[v] = p.Popular()
 	}
-	return res
+	return buildNNResult(n, known, via, popular)
 }

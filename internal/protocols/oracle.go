@@ -1,7 +1,7 @@
 package protocols
 
 import (
-	"sort"
+	"slices"
 
 	"nearspan/internal/graph"
 )
@@ -25,14 +25,12 @@ import (
 // protocol.
 func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) NNResult {
 	n := g.N()
-	res := NNResult{
-		Known:   make([]map[int64]int32, n),
-		Via:     make([]map[int64]int, n),
-		Popular: make([]bool, n),
-	}
+	known := make([]map[int64]int32, n)
+	via := make([]map[int64]int, n)
+	popular := make([]bool, n)
 	for v := 0; v < n; v++ {
-		res.Known[v] = make(map[int64]int32)
-		res.Via[v] = make(map[int64]int)
+		known[v] = make(map[int64]int32)
+		via[v] = make(map[int64]int)
 	}
 	isCenter := make([]bool, n)
 	for _, c := range centers {
@@ -76,17 +74,17 @@ func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) N
 			for c := range buffer[v] {
 				ids = append(ids, c)
 			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			slices.Sort(ids)
 			queued := 0
 			for _, c := range ids {
 				if queued < deg+1 && p < delta {
 					forwards = append(forwards, fwd{v: v, c: c})
 					queued++
 				}
-				if _, known := res.Known[v][c]; !known && len(res.Known[v]) < deg {
+				if _, stored := known[v][c]; !stored && len(known[v]) < deg {
 					h := buffer[v][c]
-					res.Known[v][c] = p
-					res.Via[v][c] = h.port
+					known[v][c] = p
+					via[v][c] = h.port
 				}
 			}
 			buffer[v] = make(map[int64]hearing)
@@ -104,9 +102,9 @@ func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) N
 		}
 	}
 	for v := 0; v < n; v++ {
-		res.Popular[v] = isCenter[v] && len(res.Known[v]) >= deg
+		popular[v] = isCenter[v] && len(known[v]) >= deg
 	}
-	return res
+	return buildNNResult(n, known, via, popular)
 }
 
 // TracePath follows Via pointers from v toward center c using the
@@ -117,7 +115,7 @@ func TracePath(g *graph.Graph, nn NNResult, v int, c int64) (path []int, ok bool
 	cur := v
 	path = append(path, cur)
 	for int64(cur) != c {
-		port, exists := nn.Via[cur][c]
+		port, exists := nn.Port(cur, c)
 		if !exists || len(path) > g.N() {
 			return path, false
 		}
@@ -132,15 +130,22 @@ func TracePath(g *graph.Graph, nn NNResult, v int, c int64) (path []int, ok bool
 // same window order, same kill radius q.
 func CentralRulingSet(g *graph.Graph, members []int, q int32, c int, n int) []int {
 	b := DigitBase(n, c)
-	active := make(map[int]bool, len(members))
-	for _, w := range members {
+	// Dense active flags over a sorted member list: the competition below
+	// is order-independent (kills are a pure function of digits and
+	// distances), and the ascending scan makes the output sorted for free.
+	sorted := slices.Clone(members)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	active := make([]bool, g.N())
+	for _, w := range sorted {
 		active[w] = true
 	}
+	var firing []int
 	for pos := c - 1; pos >= 0; pos-- {
 		for value := b - 1; value >= 0; value-- {
-			var firing []int
-			for w := range active {
-				if digit(int64(w), pos, b) == value {
+			firing = firing[:0]
+			for _, w := range sorted {
+				if active[w] && digit(int64(w), pos, b) == value {
 					firing = append(firing, w)
 				}
 			}
@@ -150,18 +155,19 @@ func CentralRulingSet(g *graph.Graph, members []int, q int32, c int, n int) []in
 			// Kill active candidates with a smaller current digit within
 			// distance q of any firing candidate.
 			dist, _, _ := g.MultiBFS(firing, q)
-			for w := range active {
-				if dist[w] <= q && digit(int64(w), pos, b) < value {
-					delete(active, w)
+			for _, w := range sorted {
+				if active[w] && dist[w] <= q && digit(int64(w), pos, b) < value {
+					active[w] = false
 				}
 			}
 		}
 	}
-	out := make([]int, 0, len(active))
-	for w := range active {
-		out = append(out, w)
+	out := make([]int, 0, len(sorted))
+	for _, w := range sorted {
+		if active[w] {
+			out = append(out, w)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 

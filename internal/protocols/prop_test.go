@@ -113,7 +113,7 @@ func TestPropUnpopularExactness(t *testing.T) {
 				if v == c || !isC[v] || dist[v] > delta {
 					continue
 				}
-				if got, ok := res.Known[c][int64(v)]; !ok || got != dist[v] {
+				if got, ok := res.DistTo(c, int64(v)); !ok || got != dist[v] {
 					return false
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nearspan/internal/congest"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
 )
@@ -143,18 +144,22 @@ func TestNearNeighborsMatchesCentralOracle(t *testing.T) {
 			dist := runNN(t, g, centers, cfg.deg, cfg.delta, congest.EngineSequential)
 			central := CentralNearNeighbors(g, centers, cfg.deg, cfg.delta)
 			for v := 0; v < g.N(); v++ {
-				if len(dist.Known[v]) != len(central.Known[v]) {
+				cKeys, cDist := central.Known(v)
+				dKeys, dDist := dist.Known(v)
+				if len(dKeys) != len(cKeys) {
 					t.Fatalf("%s cfg%+v v%d: |known| distributed=%d central=%d",
-						name, cfg, v, len(dist.Known[v]), len(central.Known[v]))
+						name, cfg, v, len(dKeys), len(cKeys))
 				}
-				for c, d := range central.Known[v] {
-					if dist.Known[v][c] != d {
-						t.Errorf("%s cfg%+v v%d center %d: dist=%d central=%d",
-							name, cfg, v, c, dist.Known[v][c], d)
+				for i, c := range cKeys {
+					if dKeys[i] != c || dDist[i] != cDist[i] {
+						t.Errorf("%s cfg%+v v%d entry %d: distributed (%d,%d), central (%d,%d)",
+							name, cfg, v, i, dKeys[i], dDist[i], c, cDist[i])
 					}
-					if dist.Via[v][c] != central.Via[v][c] {
+					dPort, _ := dist.Port(v, c)
+					cPort, _ := central.Port(v, c)
+					if dPort != cPort {
 						t.Errorf("%s cfg%+v v%d center %d: via=%d central=%d",
-							name, cfg, v, c, dist.Via[v][c], central.Via[v][c])
+							name, cfg, v, c, dPort, cPort)
 					}
 				}
 				if dist.Popular[v] != central.Popular[v] {
@@ -173,11 +178,15 @@ func TestNearNeighborsEnginesAgree(t *testing.T) {
 	for _, eng := range []congest.Engine{congest.EngineGoroutine, congest.EngineParallel} {
 		b := runNN(t, g, centers, 3, 4, eng)
 		for v := 0; v < g.N(); v++ {
-			if len(a.Known[v]) != len(b.Known[v]) || a.Popular[v] != b.Popular[v] {
+			aKeys, aDist := a.Known(v)
+			bKeys, bDist := b.Known(v)
+			if len(aKeys) != len(bKeys) || a.Popular[v] != b.Popular[v] {
 				t.Fatalf("%s v%d: engines disagree", eng, v)
 			}
-			for c, d := range a.Known[v] {
-				if b.Known[v][c] != d || b.Via[v][c] != a.Via[v][c] {
+			for i, c := range aKeys {
+				aPort, _ := a.Port(v, c)
+				bPort, _ := b.Port(v, c)
+				if bKeys[i] != c || bDist[i] != aDist[i] || aPort != bPort {
 					t.Errorf("%s v%d center %d: engines disagree", eng, v, c)
 				}
 			}
@@ -235,7 +244,7 @@ func TestUnpopularCentersKnowExactNeighborhood(t *testing.T) {
 					continue
 				}
 				if dist[v] <= delta {
-					got, ok := res.Known[c][int64(v)]
+					got, ok := res.DistTo(c, int64(v))
 					if !ok {
 						t.Errorf("%s unpopular %d missing center %d at distance %d",
 							name, c, v, dist[v])
@@ -249,9 +258,10 @@ func TestUnpopularCentersKnowExactNeighborhood(t *testing.T) {
 				}
 			}
 			// Stored set contains nothing beyond delta.
-			for cc, d := range res.Known[c] {
-				if d > delta {
-					t.Errorf("%s unpopular %d stores %d at distance %d > delta", name, c, cc, d)
+			ccs, ds := res.Known(c)
+			for i, cc := range ccs {
+				if ds[i] > delta {
+					t.Errorf("%s unpopular %d stores %d at distance %d > delta", name, c, cc, ds[i])
 				}
 			}
 		}
@@ -270,7 +280,9 @@ func TestTracePathsAreShortest(t *testing.T) {
 		if res.Popular[c] {
 			continue
 		}
-		for target, d := range res.Known[c] {
+		targets, dists := res.Known(c)
+		for i, target := range targets {
+			d := dists[i]
 			path, ok := TracePath(g, res, c, target)
 			if !ok {
 				t.Fatalf("trace from %d to %d broke at %v", c, target, path)
@@ -434,6 +446,21 @@ func TestDigits(t *testing.T) {
 
 // --- Climb ---
 
+// buildRouting flattens per-vertex (key -> port) maps into a Routing —
+// the test-side constructor for hand-written routing tables. It rides
+// the production flatten (buildNNResult) with dummy distances, so the
+// tests always exercise the same layout the extraction produces.
+func buildRouting(n int, via []map[int64]int) Routing {
+	known := make([]map[int64]int32, n)
+	for v := range known {
+		known[v] = make(map[int64]int32, len(via[v]))
+		for k := range via[v] {
+			known[v][k] = 0
+		}
+	}
+	return buildNNResult(n, known, via, make([]bool, n)).Routing
+}
+
 func TestForestClimbMarksRootPaths(t *testing.T) {
 	g := gen.Grid(7, 7)
 	roots := map[int]bool{0: true, 24: true, 48: true}
@@ -443,14 +470,9 @@ func TestForestClimbMarksRootPaths(t *testing.T) {
 	forest := ExtractForest(sim)
 
 	// Starters: a few spanned vertices far from roots.
-	via := make([]map[int64]int, g.N())
-	start := make([][]int64, g.N())
 	const forestKey = int64(-7)
-	for v := 0; v < g.N(); v++ {
-		if forest.ParentPort[v] >= 0 {
-			via[v] = map[int64]int{forestKey: forest.ParentPort[v]}
-		}
-	}
+	rt := NewForestRouting(forest.ParentPort, forestKey)
+	start := make([][]int64, g.N())
 	var starters []int
 	for v := 0; v < g.N(); v++ {
 		if forest.Dist[v] == depth {
@@ -461,20 +483,21 @@ func TestForestClimbMarksRootPaths(t *testing.T) {
 	if len(starters) == 0 {
 		t.Fatal("no starters at full depth")
 	}
-	csim, err := congest.NewUniform(g, NewClimb(via, start), congest.Options{})
+	csim, err := congest.NewUniform(g, NewClimb(rt, start), congest.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := csim.RunUntilQuiet(ClimbMaxRounds(1, int(depth))); err != nil {
 		t.Fatal(err)
 	}
-	edges := ExtractClimbEdges(csim)
+	edges := edgeset.NewSet(g.N())
+	ExtractClimbEdges(csim, edges)
 	// Every starter's full parent path must be marked.
 	for _, s := range starters {
 		v := s
 		for forest.ParentPort[v] >= 0 {
 			u := g.Neighbor(v, forest.ParentPort[v])
-			if !edges[NormEdge(v, u)] {
+			if !edges.Contains(v, u) {
 				t.Fatalf("edge %d-%d on %d's root path not marked", v, u, s)
 			}
 			v = u
@@ -484,8 +507,8 @@ func TestForestClimbMarksRootPaths(t *testing.T) {
 		}
 	}
 	// No unrelated edges: every marked edge is a forest parent edge.
-	for e := range edges {
-		u, v := int(e.U), int(e.V)
+	for eu, ev := range edges.All() {
+		u, v := int(eu), int(ev)
 		okUV := forest.ParentPort[u] >= 0 && g.Neighbor(u, forest.ParentPort[u]) == v
 		okVU := forest.ParentPort[v] >= 0 && g.Neighbor(v, forest.ParentPort[v]) == u
 		if !okUV && !okVU {
@@ -499,42 +522,34 @@ func TestKeyedClimbTracesToCenters(t *testing.T) {
 	centers := nnCenters(g, 1)
 	res := runNN(t, g, centers, 12, 3, congest.EngineSequential)
 
-	via := make([]map[int64]int, g.N())
 	start := make([][]int64, g.N())
-	for v := 0; v < g.N(); v++ {
-		via[v] = res.Via[v]
-	}
 	var expect [][2]int // (from, to) pairs that must be connected
 	for _, c := range centers {
 		if res.Popular[c] {
 			continue
 		}
-		for target := range res.Known[c] {
-			start[c] = append(start[c], target)
+		targets, _ := res.Known(c)
+		start[c] = targets
+		for _, target := range targets {
 			expect = append(expect, [2]int{c, int(target)})
 		}
 	}
 	if len(expect) == 0 {
 		t.Fatal("nothing to trace")
 	}
-	csim, err := congest.NewUniform(g, NewClimb(via, start), congest.Options{})
+	csim, err := congest.NewUniform(g, NewClimb(&res.Routing, start), congest.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := csim.RunUntilQuiet(ClimbMaxRounds(8, 10)); err != nil {
 		t.Fatal(err)
 	}
-	edges := ExtractClimbEdges(csim)
+	edges := edgeset.NewSet(g.N())
+	ExtractClimbEdges(csim, edges)
 	// Build the marked subgraph and verify connectivity at exact distance.
-	hb := graph.NewBuilder(g.N())
-	for e := range edges {
-		if err := hb.AddEdge(int(e.U), int(e.V)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	h := hb.Build()
+	h := edges.Graph()
 	for _, pair := range expect {
-		want := res.Known[pair[0]][int64(pair[1])]
+		want, _ := res.DistTo(pair[0], int64(pair[1]))
 		if got := h.Distance(pair[0], pair[1]); got != want {
 			t.Errorf("traced pair %v: distance in marked subgraph %d, want %d", pair, got, want)
 		}
@@ -554,19 +569,21 @@ func TestClimbRespectsBandwidth(t *testing.T) {
 		start[leaf] = []int64{19}
 	}
 	via[0] = map[int64]int{19: hubPortTo19}
-	csim, err := congest.NewUniform(g, NewClimb(via, start), congest.Options{})
+	rt := buildRouting(g.N(), via)
+	csim, err := congest.NewUniform(g, NewClimb(&rt, start), congest.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := csim.RunUntilQuiet(100); err != nil {
 		t.Fatalf("climb violated bandwidth: %v", err)
 	}
-	edges := ExtractClimbEdges(csim)
-	if !edges[NormEdge(0, 19)] {
+	edges := edgeset.NewSet(g.N())
+	ExtractClimbEdges(csim, edges)
+	if !edges.Contains(0, 19) {
 		t.Error("hub-to-target edge not marked")
 	}
-	if len(edges) != 10 {
-		t.Errorf("marked %d edges, want 10", len(edges))
+	if edges.Len() != 10 {
+		t.Errorf("marked %d edges, want 10", edges.Len())
 	}
 }
 
@@ -619,11 +636,15 @@ func TestProtocolsOrderIndependent(t *testing.T) {
 	nnB, rsB, fB := runWith(congest.DeliverPortDescending)
 
 	for v := 0; v < g.N(); v++ {
-		if len(nnA.Known[v]) != len(nnB.Known[v]) || nnA.Popular[v] != nnB.Popular[v] {
+		aKeys, aDist := nnA.Known(v)
+		bKeys, bDist := nnB.Known(v)
+		if len(aKeys) != len(bKeys) || nnA.Popular[v] != nnB.Popular[v] {
 			t.Fatalf("NN order-dependent at vertex %d", v)
 		}
-		for c, d := range nnA.Known[v] {
-			if nnB.Known[v][c] != d || nnB.Via[v][c] != nnA.Via[v][c] {
+		for i, c := range aKeys {
+			aPort, _ := nnA.Port(v, c)
+			bPort, _ := nnB.Port(v, c)
+			if bKeys[i] != c || bDist[i] != aDist[i] || bPort != aPort {
 				t.Errorf("NN order-dependent at vertex %d center %d", v, c)
 			}
 		}
@@ -645,37 +666,34 @@ func TestClimbOrderIndependentEdges(t *testing.T) {
 	g := gen.Grid(7, 7)
 	centers := nnCenters(g, 1)
 	res := runNN(t, g, centers, 10, 3, congest.EngineSequential)
-	via := make([]map[int64]int, g.N())
 	start := make([][]int64, g.N())
-	for v := 0; v < g.N(); v++ {
-		via[v] = res.Via[v]
-	}
 	for _, c := range centers {
 		if res.Popular[c] {
 			continue
 		}
-		for target := range res.Known[c] {
-			start[c] = append(start[c], target)
-		}
+		targets, _ := res.Known(c)
+		start[c] = targets
 	}
-	edgesFor := func(delivery congest.DeliveryOrder) map[Edge]bool {
-		sim, err := congest.NewUniform(g, NewClimb(via, start), congest.Options{Delivery: delivery})
+	edgesFor := func(delivery congest.DeliveryOrder) *edgeset.Set {
+		sim, err := congest.NewUniform(g, NewClimb(&res.Routing, start), congest.Options{Delivery: delivery})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := sim.RunUntilQuiet(ClimbMaxRounds(10, 4)); err != nil {
 			t.Fatal(err)
 		}
-		return ExtractClimbEdges(sim)
+		edges := edgeset.NewSet(g.N())
+		ExtractClimbEdges(sim, edges)
+		return edges
 	}
 	a := edgesFor(congest.DeliverPortAscending)
 	b := edgesFor(congest.DeliverPortDescending)
-	if len(a) != len(b) {
-		t.Fatalf("climb edge sets differ in size: %d vs %d", len(a), len(b))
+	if a.Len() != b.Len() {
+		t.Fatalf("climb edge sets differ in size: %d vs %d", a.Len(), b.Len())
 	}
-	for e := range a {
-		if !b[e] {
-			t.Errorf("climb edge %v only under ascending delivery", e)
+	for u, v := range a.All() {
+		if !b.Contains(int(u), int(v)) {
+			t.Errorf("climb edge {%d,%d} only under ascending delivery", u, v)
 		}
 	}
 }
@@ -696,9 +714,9 @@ func TestNNRoundBudgetSufficient(t *testing.T) {
 	extra := runSim(t, g, factory, NearNeighborsRounds(deg, delta)+2*(deg+1), congest.EngineSequential)
 	a, b := ExtractNN(exact), ExtractNN(extra)
 	for v := 0; v < g.N(); v++ {
-		if len(a.Known[v]) != len(b.Known[v]) {
+		if a.Count(v) != b.Count(v) {
 			t.Errorf("v%d: budget run knows %d, longer run knows %d — budget too small",
-				v, len(a.Known[v]), len(b.Known[v]))
+				v, a.Count(v), b.Count(v))
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package protocols
+
+import "slices"
+
+// Routing is the flat, port-keyed routing plane shared by the climb
+// protocols: for each vertex, a run of (key, port) entries sorted
+// ascending by key, stored in three parallel slices indexed through a
+// CSR-style offset array. A key's port points toward that key's target
+// (the next hop of the recorded path).
+//
+// It replaces the per-vertex map[int64]int tables the climbs used to
+// route over: lookups are binary searches in a vertex's run, iteration
+// is canonical by construction, and building one table for the whole
+// graph costs three allocations instead of n maps. Algorithm 1's output
+// (NNResult) embeds a Routing directly, so interconnection climbs route
+// over the very arrays the near-neighbors extraction produced — the map
+// round-trip between the two protocols is gone.
+type Routing struct {
+	off   []int32 // len N()+1
+	keys  []int64 // sorted ascending within each vertex's run
+	ports []int32
+}
+
+// N returns the number of vertices the table covers.
+func (r *Routing) N() int { return len(r.off) - 1 }
+
+// Count returns the number of routing entries at v.
+func (r *Routing) Count(v int) int { return int(r.off[v+1] - r.off[v]) }
+
+// At returns v's keys and ports as parallel slices, sorted ascending by
+// key. The slices alias the table; callers must not modify them.
+func (r *Routing) At(v int) (keys []int64, ports []int32) {
+	lo, hi := r.off[v], r.off[v+1]
+	return r.keys[lo:hi], r.ports[lo:hi]
+}
+
+// Port returns the port v routes key k through, if any.
+func (r *Routing) Port(v int, k int64) (int, bool) {
+	keys, ports := r.At(v)
+	if i, ok := slices.BinarySearch(keys, k); ok {
+		return int(ports[i]), true
+	}
+	return -1, false
+}
+
+// Index returns the global entry index of (v, k), if v routes k. Entry
+// indices address NewMarks flags and PortAt.
+func (r *Routing) Index(v int, k int64) (int, bool) {
+	keys, _ := r.At(v)
+	if i, ok := slices.BinarySearch(keys, k); ok {
+		return int(r.off[v]) + i, true
+	}
+	return -1, false
+}
+
+// PortAt returns the port of the entry at the given global index.
+func (r *Routing) PortAt(idx int) int32 { return r.ports[idx] }
+
+// NewMarks returns a fresh flag per routing entry — the flat
+// (vertex, key) visited set the centralized climb uses to reproduce the
+// distributed forward-once dedupe without per-key hash maps.
+func (r *Routing) NewMarks() []bool { return make([]bool, len(r.keys)) }
+
+// NewForestRouting builds the single-key routing plane of a forest
+// climb: every vertex with a parent routes key toward its parent port.
+// This is how superclustering turns a BFSForest result into climb
+// routing — one key suffices because every vertex has one forest parent,
+// so climbs toward different roots share the dedupe (see core).
+func NewForestRouting(parentPort []int, key int64) *Routing {
+	n := len(parentPort)
+	off := make([]int32, n+1)
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		if parentPort[v] >= 0 {
+			total++
+		}
+		off[v+1] = total
+	}
+	keys := make([]int64, total)
+	ports := make([]int32, total)
+	i := 0
+	for v := 0; v < n; v++ {
+		if parentPort[v] >= 0 {
+			keys[i] = key
+			ports[i] = int32(parentPort[v])
+			i++
+		}
+	}
+	return &Routing{off: off, keys: keys, ports: ports}
+}

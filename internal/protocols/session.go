@@ -3,9 +3,11 @@ package protocols
 import (
 	"context"
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 
 	"nearspan/internal/congest"
+	"nearspan/internal/edgeset"
 	"nearspan/internal/graph"
 )
 
@@ -150,11 +152,7 @@ func (s *Session) RunUntilQuiet(ctx context.Context, factory func(v int) congest
 // metrics.
 func (s *Session) finish() error {
 	if total, byKind := s.net.sim.Pending(); total > 0 {
-		kinds := make([]int, 0, len(byKind))
-		for k := range byKind {
-			kinds = append(kinds, int(k))
-		}
-		sort.Ints(kinds)
+		kinds := slices.Sorted(maps.Keys(byKind))
 		own := byKind[s.kind]
 		if foreign := total - own; foreign > 0 {
 			return fmt.Errorf("protocols: %s session (phase %d): %d stray message(s) of kinds %v in flight after %d rounds — traffic outside the session's kind namespace (%d)",
@@ -210,14 +208,17 @@ func RunForest(ctx context.Context, net *Network, phase int, isRoot func(v int) 
 	return ExtractForest(net.sim), rounds, nil
 }
 
-// RunClimb traces paths through the via pointers as a message-driven
-// session (step names the use: forest paths or interconnection) and
-// returns the marked edges plus the measured rounds.
-func RunClimb(ctx context.Context, net *Network, phase int, step string, via []map[int64]int, start [][]int64, keysPerVertex, pathLen int) (map[Edge]bool, int, error) {
+// RunClimb traces paths through the routing plane as a message-driven
+// session (step names the use: forest paths or interconnection), adding
+// the marked edges into the given set; it returns how many were new to
+// the set plus the measured rounds. The construction passes the spanner
+// accumulator directly, so the new-edge count is the step's contribution
+// to |E_H|.
+func RunClimb(ctx context.Context, net *Network, phase int, step string, rt *Routing, start [][]int64, keysPerVertex, pathLen int, into *edgeset.Set) (int, int, error) {
 	rounds, err := net.Session(phase, step, kindClimb).RunUntilQuiet(
-		ctx, NewClimb(via, start), ClimbMaxRounds(keysPerVertex, pathLen))
+		ctx, NewClimb(rt, start), ClimbMaxRounds(keysPerVertex, pathLen))
 	if err != nil {
-		return nil, 0, err
+		return 0, 0, err
 	}
-	return ExtractClimbEdges(net.sim), rounds, nil
+	return ExtractClimbEdges(net.sim, into), rounds, nil
 }

@@ -51,7 +51,7 @@ func TestSessionsMatchFreshSimulators(t *testing.T) {
 			t.Errorf("%s: NN rounds %d, want budget %d", eng, nnRounds, NearNeighborsRounds(deg, delta))
 		}
 		for v := 0; v < g.N(); v++ {
-			if nn.Popular[v] != refNN.Popular[v] || len(nn.Known[v]) != len(refNN.Known[v]) {
+			if nn.Popular[v] != refNN.Popular[v] || nn.Count(v) != refNN.Count(v) {
 				t.Fatalf("%s: NN result differs at vertex %d", eng, v)
 			}
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nearspan_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-regression guards only run without it (instrumentation changes
+// allocation counts).
+const raceEnabled = true
