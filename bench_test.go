@@ -250,6 +250,50 @@ func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, congest.EngineSequ
 func BenchmarkEngineGoroutine(b *testing.B)  { benchEngine(b, congest.EngineGoroutine) }
 func BenchmarkEngineParallel(b *testing.B)   { benchEngine(b, congest.EngineParallel) }
 
+// --- Sparse-activity (frontier) benchmarks ---
+
+// BenchmarkFrontier measures the simulator on frontier ≪ n workloads:
+// the long-path climb (message-driven, frontier ~1) and a large-n
+// ruling set with a sparse member set (fixed schedule; most windows move
+// few or no waves, so the message plane — not the program work — is
+// what the round cost must scale with).
+func BenchmarkFrontier(b *testing.B) {
+	const n = 16384
+	g, rt, start := experiments.FrontierClimbWorkload(n)
+	for _, eng := range []congest.Engine{congest.EngineSequential, congest.EngineParallel} {
+		b.Run("climb-path-16k/"+eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := congest.NewUniform(g, protocols.NewClimb(rt, start),
+					congest.Options{Engine: eng})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.RunUntilQuiet(protocols.ClimbMaxRounds(1, n)); err != nil {
+					b.Fatal(err)
+				}
+				sim.Close()
+			}
+		})
+	}
+	isMember, q, c := experiments.FrontierRulingWorkload()
+	rounds := protocols.RulingSetRounds(q, c, n)
+	b.Run("ruling-path-16k/sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := congest.NewUniform(g, protocols.NewRulingSet(isMember, q, c, n),
+				congest.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sim.Run(rounds); err != nil {
+				b.Fatal(err)
+			}
+			sim.Close()
+		}
+	})
+}
+
 // --- Persistent network runtime ---
 
 // BenchmarkNetworkReuse quantifies what the persistent network runtime

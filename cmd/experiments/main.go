@@ -18,11 +18,42 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"nearspan/internal/congest"
 	"nearspan/internal/experiments"
 )
+
+// gate compares the fresh report at freshPath against the committed
+// baseline at basePath and fails on a >25% ns/op regression in any
+// gated benchmark family (experiments.GatedPrefixes).
+func gate(freshPath, basePath string) error {
+	load := func(path string) (experiments.BenchReport, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return experiments.BenchReport{}, err
+		}
+		defer f.Close()
+		return experiments.LoadBenchReport(f)
+	}
+	baseline, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	if regressions := experiments.BenchGate(baseline, fresh, 0.25); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "perf gate: %s\n", r)
+		}
+		return fmt.Errorf("perf gate: %d benchmark(s) regressed vs %s", len(regressions), basePath)
+	}
+	fmt.Printf("perf gate passed vs %s\n", basePath)
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced workload suite")
@@ -30,14 +61,25 @@ func main() {
 		"CONGEST engine for distributed builds: sequential|parallel|goroutine (wall clock only; measurements are engine-independent)")
 	timeout := flag.Duration("timeout", 0, "abort the suite after this duration (0 = no limit); sections already printed stay valid")
 	benchJSON := flag.String("bench-json", "",
-		"instead of the suite, run the assembly + engine benchmarks and write the machine-readable perf baseline (ns/op, B/op, allocs/op) to this path")
+		"instead of the suite, run the assembly + engine + frontier benchmarks and write the machine-readable perf baseline (ns/op, B/op, allocs/op) to this path")
+	cpu := flag.Int("cpu", runtime.GOMAXPROCS(0),
+		"GOMAXPROCS for the -bench-json run; the value actually used is recorded as go_maxprocs in the report")
+	benchGate := flag.String("bench-gate", "",
+		"with -bench-json: compare the fresh report against this baseline and exit nonzero on a >25% ns/op regression in any gated benchmark family")
 	flag.Parse()
 	eng, err := congest.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if *benchGate != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -bench-gate requires -bench-json (nothing would be gated)")
+		os.Exit(1)
+	}
 	if *benchJSON != "" {
+		if *cpu > 0 {
+			runtime.GOMAXPROCS(*cpu)
+		}
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -51,7 +93,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote perf baseline to %s\n", *benchJSON)
+		fmt.Printf("wrote perf baseline to %s (GOMAXPROCS %d)\n", *benchJSON, runtime.GOMAXPROCS(0))
+		if *benchGate != "" {
+			if err := gate(*benchJSON, *benchGate); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	cfgs := experiments.DefaultConfigs()

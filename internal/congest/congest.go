@@ -204,6 +204,14 @@ func (e *ErrBudgetExhausted) Error() string {
 }
 
 // Simulator executes one Program instance per vertex of a graph.
+//
+// Round execution is frontier-driven: the per-round cost is
+// O(frontier + messages), not O(n + m). The simulator maintains a
+// dirty-slot list (the directed-edge slots that carry messages) and an
+// active list (the vertices that have not halted); each round it derives
+// the frontier — active vertices plus the halted destinations of dirty
+// slots — and only those vertices run. See docs/ARCHITECTURE.md,
+// "Frontier scheduling", for the determinism argument.
 type Simulator struct {
 	g     *graph.Graph
 	opts  Options
@@ -211,13 +219,52 @@ type Simulator struct {
 	envs  []Env
 
 	// twin[s] is the directed-edge slot of the reverse edge of slot s,
-	// where slot slotBase[v]+p is the edge out of vertex v's port p.
-	twin []int32
+	// where slot slotBase[v]+p is the edge out of vertex v's port p
+	// (each Env carries its vertex's slot base). destV[s] and destPort[s]
+	// name the receiving side of slot s: the vertex the slot delivers to
+	// and its local port there.
+	twin     []int32
+	destV    []int32
+	destPort []int32
 
 	// cur holds messages deliverable this round; next collects sends.
 	// Slot s occupies entries [s*Bandwidth, s*Bandwidth+counts[s]).
 	cur, next           []Message
 	curCounts, nxCounts []uint16
+
+	// curDirty/nxDirty list the slots with nonzero counts in cur/next, in
+	// the deterministic order the sends were merged (ascending sender,
+	// program send order within a sender). They are what makes flip,
+	// Pending, and the per-round wake derivation O(activity) instead of
+	// O(m·Bandwidth).
+	curDirty, nxDirty []int32
+
+	// active lists the not-halted vertices in ascending order — the exact
+	// complement of the halted flags, maintained at round barriers.
+	// frontier is the round's invocation list: active merged with the
+	// woken mail destinations. mail lists this round's distinct mail
+	// destinations (deduped via the mailStamp generation marks); inbox[v]
+	// holds the ports on which v has deliverable messages, sorted before
+	// dispatch.
+	active    []int32
+	frontier  []int32
+	woken     []int32
+	mail      []int32
+	mailStamp []uint64
+	stampGen  uint64
+	inbox     [][]int32
+
+	// roundSent accumulates the running round's sent-message count as the
+	// per-vertex dirty sublists are merged; flip consumes it.
+	roundSent  int64
+	seqScratch []Inbound // sequential engine's gather buffer
+
+	// denseGather flags a round where most slots are dirty: building and
+	// sorting per-vertex inboxes would cost more than the dense port
+	// probe, so gatherInbound probes ports directly instead. The flag is
+	// a pure function of len(curDirty), hence identical on every engine,
+	// and both gather paths produce the identical recv slice.
+	denseGather bool
 
 	metrics Metrics
 	halted  []bool
@@ -253,11 +300,15 @@ func New(g *graph.Graph, progs []Program, opts Options) (*Simulator, error) {
 		nSlots += g.Degree(v)
 	}
 	s.twin = make([]int32, nSlots)
+	s.destV = make([]int32, nSlots)
+	s.destPort = make([]int32, nSlots)
 	for v := 0; v < g.N(); v++ {
 		for p := 0; p < g.Degree(v); p++ {
 			w := g.Neighbor(v, p)
 			q := g.PortOf(w, v)
 			s.twin[slotBase[v]+int32(p)] = slotBase[w] + int32(q)
+			s.destV[slotBase[v]+int32(p)] = int32(w)
+			s.destPort[slotBase[v]+int32(p)] = int32(q)
 		}
 	}
 	b := opts.Bandwidth
@@ -266,6 +317,8 @@ func New(g *graph.Graph, progs []Program, opts Options) (*Simulator, error) {
 	s.curCounts = make([]uint16, nSlots)
 	s.nxCounts = make([]uint16, nSlots)
 	s.halted = make([]bool, g.N())
+	s.mailStamp = make([]uint64, g.N())
+	s.inbox = make([][]int32, g.N())
 	s.envs = make([]Env, g.N())
 	for v := 0; v < g.N(); v++ {
 		s.envs[v] = Env{sim: s, id: v, slotBase: int(slotBase[v])}
@@ -324,14 +377,27 @@ func (s *Simulator) ResetUniform(factory func(v int) Program) {
 func (s *Simulator) reset() {
 	s.round = 0
 	s.metrics = Metrics{}
-	for i := range s.halted {
-		s.halted[i] = false
-	}
-	for i := range s.curCounts {
-		s.curCounts[i] = 0
-	}
-	for i := range s.nxCounts {
-		s.nxCounts[i] = 0
+	s.roundSent = 0
+	s.denseGather = false
+	// A dense rewind, deliberately: a panicking round can abort before
+	// the barrier-time dirty merge, leaving per-vertex sublists and inbox
+	// state the incremental paths never observed. Reset is per-protocol,
+	// not per-round, so O(n + m·Bandwidth) here buys unconditional
+	// correctness. (stampGen is monotonic across resets so stale
+	// mailStamp marks can never collide with a future round's
+	// generation.)
+	clear(s.halted)
+	clear(s.curCounts)
+	clear(s.nxCounts)
+	s.curDirty = s.curDirty[:0]
+	s.nxDirty = s.nxDirty[:0]
+	s.active = s.active[:0]
+	s.frontier = s.frontier[:0]
+	s.woken = s.woken[:0]
+	s.mail = s.mail[:0]
+	for v := range s.envs {
+		s.envs[v].dirty = s.envs[v].dirty[:0]
+		s.inbox[v] = s.inbox[v][:0]
 	}
 	s.violMu.Lock()
 	s.firstViolation = nil
@@ -353,12 +419,12 @@ func (s *Simulator) reset() {
 // (foreign kinds). The map is nil when nothing is pending.
 func (s *Simulator) Pending() (total int, byKind map[uint8]int) {
 	b := s.opts.Bandwidth
-	for slot, c := range s.curCounts {
-		for k := 0; k < int(c); k++ {
-			if byKind == nil {
-				byKind = make(map[uint8]int)
-			}
-			byKind[s.cur[slot*b+k].Kind]++
+	for _, slot := range s.curDirty {
+		if byKind == nil {
+			byKind = make(map[uint8]int)
+		}
+		for k := 0; k < int(s.curCounts[slot]); k++ {
+			byKind[s.cur[int(slot)*b+k].Kind]++
 			total++
 		}
 	}
@@ -386,6 +452,15 @@ type Env struct {
 	sim      *Simulator
 	id       int
 	slotBase int
+
+	// dirty is this vertex's per-round dirty-slot sublist: the outbound
+	// slots that received their first message this round, in program send
+	// order. Only the goroutine running this vertex's callback appends
+	// (a vertex's outbound slots are written by no one else), and the
+	// coordinator merges the sublists in ascending vertex order at the
+	// round barrier — so the global dirty list is deterministic on every
+	// engine without any synchronization on the send path.
+	dirty []int32
 }
 
 // ID returns this vertex's identifier in [0, n).
@@ -422,6 +497,9 @@ func (e *Env) Send(port int, m Message) error {
 			ErrBandwidth, e.id, port, e.sim.round, b)
 		e.sim.recordViolation(e.id, err)
 		return err
+	}
+	if e.sim.nxCounts[s] == 0 {
+		e.dirty = append(e.dirty, int32(s))
 	}
 	e.sim.next[s*b+int(e.sim.nxCounts[s])] = m
 	e.sim.nxCounts[s]++
@@ -534,43 +612,44 @@ func (s *Simulator) RunUntilQuietContext(ctx context.Context, maxRounds int) (in
 	}
 	if !s.quiet() {
 		total, byKind := s.Pending()
-		active := 0
-		for _, h := range s.halted {
-			if !h {
-				active++
-			}
-		}
 		return s.round - start, &ErrBudgetExhausted{
-			MaxRounds: maxRounds, Pending: total, ByKind: byKind, Active: active,
+			MaxRounds: maxRounds, Pending: total, ByKind: byKind, Active: len(s.active),
 		}
 	}
 	return s.round - start, nil
 }
 
+// quiet is O(1): the dirty list is empty exactly when no message is
+// buffered, and the active list is empty exactly when every vertex has
+// halted.
 func (s *Simulator) quiet() bool {
-	for _, c := range s.curCounts {
-		if c > 0 {
-			return false
-		}
-	}
-	for _, h := range s.halted {
-		if !h {
-			return false
-		}
-	}
-	return true
+	return len(s.curDirty) == 0 && len(s.active) == 0
 }
 
 func (s *Simulator) runInit() {
 	for v := 0; v < s.g.N(); v++ {
 		s.progs[v].Init(&s.envs[v])
 	}
+	for v := range s.envs {
+		s.collectDirty(&s.envs[v])
+	}
+	s.active = s.active[:0]
+	for v := 0; v < s.g.N(); v++ {
+		if !s.halted[v] {
+			s.active = append(s.active, int32(v))
+		}
+	}
 	s.flip()
 }
 
-// step executes one round on the configured engine.
+// step executes one round on the configured engine: derive the frontier
+// from the dirty slots and the active list, dispatch Round over exactly
+// those vertices, then merge the per-vertex outbound sublists and
+// compact the active list at the barrier. Total cost is
+// O(frontier + messages), independent of n and m.
 func (s *Simulator) step() {
 	s.round++
+	s.buildFrontier()
 	switch s.opts.Engine {
 	case EngineGoroutine:
 		s.stepGoroutine()
@@ -579,17 +658,104 @@ func (s *Simulator) step() {
 	default:
 		s.stepSequential()
 	}
+	s.finishRound()
 	s.flip()
 }
 
-// flip swaps the message buffers after a round: what was sent becomes
-// deliverable, and the send buffer is cleared. Metrics are updated here
-// so both engines share the accounting.
-func (s *Simulator) flip() {
-	var sent int64
-	for _, c := range s.nxCounts {
-		sent += int64(c)
+// buildFrontier derives the round's invocation list. Every dirty slot
+// names its destination vertex and port (destV/destPort); destinations
+// are deduped with a generation stamp into the mail list, their inboxes
+// filled with the hit ports (sorted — the per-vertex hits are few), and
+// halted destinations are woken. The frontier is the merge of the two
+// ascending disjoint lists: still-active vertices and the woken.
+//
+// When at least half the slots are dirty the round is effectively
+// dense: the inboxes are skipped (gatherInbound probes ports directly)
+// and only the wake/mail derivation runs, so dense workloads pay the
+// same per-round cost as a dense stepper.
+func (s *Simulator) buildFrontier() {
+	s.stampGen++
+	s.denseGather = 2*len(s.curDirty) >= len(s.twin)
+	for _, slot := range s.curDirty {
+		d := s.destV[slot]
+		if s.mailStamp[d] != s.stampGen {
+			s.mailStamp[d] = s.stampGen
+			s.mail = append(s.mail, d)
+		}
+		if !s.denseGather {
+			s.inbox[d] = append(s.inbox[d], s.destPort[slot])
+		}
 	}
+	s.woken = s.woken[:0]
+	for _, d := range s.mail {
+		if !s.denseGather {
+			slices.Sort(s.inbox[d])
+		}
+		if s.halted[d] {
+			s.halted[d] = false
+			s.woken = append(s.woken, d)
+		}
+	}
+	slices.Sort(s.woken)
+	s.frontier = s.frontier[:0]
+	i, j := 0, 0
+	for i < len(s.active) && j < len(s.woken) {
+		if s.active[i] < s.woken[j] {
+			s.frontier = append(s.frontier, s.active[i])
+			i++
+		} else {
+			s.frontier = append(s.frontier, s.woken[j])
+			j++
+		}
+	}
+	s.frontier = append(s.frontier, s.active[i:]...)
+	s.frontier = append(s.frontier, s.woken[j:]...)
+}
+
+// collectDirty appends one vertex's outbound sublist to the global
+// next-round dirty list and charges its messages to the round's traffic.
+func (s *Simulator) collectDirty(env *Env) {
+	if len(env.dirty) == 0 {
+		return
+	}
+	for _, slot := range env.dirty {
+		s.roundSent += int64(s.nxCounts[slot])
+	}
+	s.nxDirty = append(s.nxDirty, env.dirty...)
+	env.dirty = env.dirty[:0]
+}
+
+// finishRound runs on the coordinator after the round barrier: merge the
+// per-vertex dirty sublists in ascending frontier order (the engines all
+// produce the same sublists, so the merged list is engine-independent),
+// drop the vertices that halted during the round from the active list,
+// and clear the round's inbox state — each step O(activity).
+func (s *Simulator) finishRound() {
+	for _, v := range s.frontier {
+		s.collectDirty(&s.envs[v])
+	}
+	s.active = s.active[:0]
+	for _, v := range s.frontier {
+		if !s.halted[v] {
+			s.active = append(s.active, v)
+		}
+	}
+	if !s.denseGather {
+		for _, d := range s.mail {
+			s.inbox[d] = s.inbox[d][:0]
+		}
+	}
+	s.mail = s.mail[:0]
+}
+
+// flip swaps the message buffers after a round: what was sent becomes
+// deliverable, and the previous round's delivered slots — exactly the
+// ones the outgoing dirty list names — are cleared. Metrics are updated
+// here, from the traffic counter the dirty merge maintained, so all
+// engines share the accounting.
+func (s *Simulator) flip() {
+	sent := s.roundSent
+	s.roundSent = 0
 	s.metrics.Messages += sent
 	if sent > s.metrics.MaxRoundTraffic {
 		s.metrics.MaxRoundTraffic = sent
@@ -597,48 +763,62 @@ func (s *Simulator) flip() {
 	s.metrics.Rounds = s.round
 	s.cur, s.next = s.next, s.cur
 	s.curCounts, s.nxCounts = s.nxCounts, s.curCounts
-	for i := range s.nxCounts {
-		s.nxCounts[i] = 0
+	s.curDirty, s.nxDirty = s.nxDirty, s.curDirty
+	for _, slot := range s.nxDirty {
+		s.nxCounts[slot] = 0
 	}
+	s.nxDirty = s.nxDirty[:0]
 }
 
 // gatherInbound collects vertex v's deliverable messages in the
-// configured delivery order. scratch is reused across calls to avoid
-// per-round allocation.
+// configured delivery order, driven by v's inbox — the ports the dirty
+// slots hit, pre-sorted by buildFrontier — rather than probing every
+// port. In dense rounds (denseGather) the inboxes were skipped and the
+// ports are probed directly; both paths yield the identical slice,
+// since a probed port without messages contributes nothing. scratch is
+// reused across calls to avoid per-round allocation.
 func (s *Simulator) gatherInbound(v int, scratch []Inbound) []Inbound {
 	recv := scratch[:0]
-	env := &s.envs[v]
 	b := s.opts.Bandwidth
-	deg := s.g.Degree(v)
+	base := s.envs[v].slotBase
 	appendPort := func(p int) {
-		src := s.twin[env.slotBase+p] // slot of the edge (neighbor -> v)
+		src := s.twin[base+p] // slot of the edge (neighbor -> v)
 		for k := 0; k < int(s.curCounts[src]); k++ {
 			recv = append(recv, Inbound{Port: p, Msg: s.cur[int(src)*b+k]})
 		}
 	}
+	if s.denseGather {
+		deg := s.g.Degree(v)
+		if s.opts.Delivery == DeliverPortDescending {
+			for p := deg - 1; p >= 0; p-- {
+				appendPort(p)
+			}
+		} else {
+			for p := 0; p < deg; p++ {
+				appendPort(p)
+			}
+		}
+		return recv
+	}
+	ports := s.inbox[v]
 	if s.opts.Delivery == DeliverPortDescending {
-		for p := deg - 1; p >= 0; p-- {
-			appendPort(p)
+		for i := len(ports) - 1; i >= 0; i-- {
+			appendPort(int(ports[i]))
 		}
 	} else {
-		for p := 0; p < deg; p++ {
-			appendPort(p)
+		for _, p := range ports {
+			appendPort(int(p))
 		}
 	}
 	return recv
 }
 
 func (s *Simulator) stepSequential() {
-	scratch := make([]Inbound, 0, 64)
-	for v := 0; v < s.g.N(); v++ {
-		recv := s.gatherInbound(v, scratch)
-		if len(recv) > 0 {
-			s.halted[v] = false
-		}
-		if s.halted[v] {
-			continue
-		}
+	scratch := s.seqScratch
+	for _, v := range s.frontier {
+		recv := s.gatherInbound(int(v), scratch)
 		s.progs[v].Round(&s.envs[v], recv)
 		scratch = recv[:0]
 	}
+	s.seqScratch = scratch
 }

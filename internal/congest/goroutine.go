@@ -6,11 +6,13 @@ import (
 )
 
 // workerPool hosts one long-lived goroutine per vertex. Each round the
-// coordinator releases every worker through its start channel and waits on
-// the barrier; workers process their vertex's inbound messages and report
+// coordinator releases only the frontier's workers through their start
+// channels and waits on the barrier — a round costs O(frontier) channel
+// operations, not O(n); workers of halted, mail-less vertices stay
+// parked. Workers process their vertex's inbound messages and report
 // back. Memory safety without locks follows from disjoint write sets:
-// worker v writes only v's outbound slots, v's halted flag, and v's
-// program state, and reads the (frozen) cur buffer.
+// worker v writes only v's outbound slots, dirty sublist, halted flag,
+// and program state, and reads the (frozen) cur buffer and inbox.
 type workerPool struct {
 	start     []chan struct{}
 	barrier   sync.WaitGroup // round completion
@@ -57,13 +59,10 @@ func (s *Simulator) worker(wp *workerPool, v int) {
 				}
 				wp.barrier.Done()
 			}()
+			// Being released means this vertex is in the frontier: the
+			// coordinator already handled waking, so the worker just runs.
 			recv := s.gatherInbound(v, scratch)
-			if len(recv) > 0 {
-				s.halted[v] = false
-			}
-			if !s.halted[v] {
-				s.progs[v].Round(&s.envs[v], recv)
-			}
+			s.progs[v].Round(&s.envs[v], recv)
 			scratch = recv[:0]
 		}()
 	}
@@ -74,9 +73,9 @@ func (s *Simulator) stepGoroutine() {
 		s.startWorkers()
 	}
 	wp := s.workers
-	wp.barrier.Add(s.g.N())
-	for _, ch := range wp.start {
-		ch <- struct{}{}
+	wp.barrier.Add(len(s.frontier))
+	for _, v := range s.frontier {
+		wp.start[v] <- struct{}{}
 	}
 	wp.barrier.Wait()
 	wp.panicMu.Lock()

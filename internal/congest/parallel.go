@@ -24,22 +24,28 @@ const (
 // owns no goroutines of its own; any number of concurrent simulators
 // share the runtime's bounded pool.
 //
-// Determinism is structural, not scheduled: a message's position in the
-// next-round buffer is a pure function of its sender vertex and port (the
-// CSR slot layout), so each shard writes a disjoint, pre-reserved region
-// of the outbound buffer — the per-shard outbound buffers of the design
-// are merged at the round barrier by construction, with zero copying.
-// Whatever order the runtime runs shards in, the buffer contents after
-// the barrier are bit-identical to a sequential round. The remaining
-// order-sensitive observables are canonicalized to the lowest (round,
-// vertex): the reported violation error matches EngineSequential's
-// exactly, and the re-raised panic names the vertex the sequential
-// engine would have hit first (wrapped in a formatted value — the
-// sequential engine propagates the program's raw panic value and stops
-// mid-round, which a shared pool cannot reproduce).
+// Shards are frontier-sized: each round the frontier list is cut into
+// contiguous index ranges, so a round with f active vertices submits
+// O(f/shardSize) shards regardless of n. The shard layout is a pure
+// function of len(frontier) and the worker bound, hence deterministic.
+//
+// Determinism of the execution itself is structural, not scheduled: a
+// message's position in the next-round buffer is a pure function of its
+// sender vertex and port (the CSR slot layout), so each shard writes a
+// disjoint, pre-reserved region of the outbound buffer, and each
+// vertex's dirty sublist is appended only by the worker running that
+// vertex. The coordinator merges the per-vertex sublists in ascending
+// frontier order at the round barrier, so the merged dirty list is
+// bit-identical to a sequential round no matter which workers ran which
+// shards. The remaining order-sensitive observables are canonicalized to
+// the lowest (round, vertex): the reported violation error matches
+// EngineSequential's exactly, and the re-raised panic names the vertex
+// the sequential engine would have hit first (wrapped in a formatted
+// value — the sequential engine propagates the program's raw panic value
+// and stops mid-round, which a shared pool cannot reproduce).
 type parallelShards struct {
-	shards  [][2]int32  // [lo, hi) vertex ranges, in vertex order
-	scratch [][]Inbound // per-shard gather buffers, reused across rounds
+	workers int         // resolved shard fan-out bound, fixed per simulator
+	scratch [][]Inbound // per-shard gather buffers, grown on demand
 
 	panicMu     sync.Mutex
 	panicVertex int
@@ -56,52 +62,32 @@ func (ps *parallelShards) recordPanic(v int, r any) {
 }
 
 func (s *Simulator) initShards() {
-	n := s.g.N()
 	workers := s.opts.Workers
 	if workers <= 0 {
 		workers = s.opts.Runtime.Workers()
 	}
-	if workers > n {
-		workers = n
-	}
 	if workers < 1 {
 		workers = 1
 	}
-	size := (n + workers*shardsPerWorker - 1) / (workers * shardsPerWorker)
-	if size < minShardVertices {
-		size = minShardVertices
-	}
-	ps := &parallelShards{}
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		ps.shards = append(ps.shards, [2]int32{int32(lo), int32(hi)})
-	}
-	ps.scratch = make([][]Inbound, len(ps.shards))
-	s.par = ps
+	s.par = &parallelShards{workers: workers}
 }
 
-// runShard executes one round for every vertex of the shard, in vertex
-// order. A panicking vertex aborts its shard (the coordinator re-raises
-// the lowest panicking vertex after the round barrier, so nothing
-// downstream observes the partial state).
-func (s *Simulator) runShard(ps *parallelShards, sh [2]int32, scratch []Inbound) []Inbound {
-	v := int(sh[0])
+// runShard executes one round for every frontier vertex in index range
+// [lo, hi), in frontier (ascending vertex) order. A panicking vertex
+// aborts its shard (the coordinator re-raises the lowest panicking
+// vertex after the round barrier, so nothing downstream observes the
+// partial state).
+func (s *Simulator) runShard(ps *parallelShards, lo, hi int, scratch []Inbound) []Inbound {
+	v := int(s.frontier[lo])
 	defer func() {
 		if r := recover(); r != nil {
 			ps.recordPanic(v, r)
 		}
 	}()
-	for ; v < int(sh[1]); v++ {
+	for j := lo; j < hi; j++ {
+		v = int(s.frontier[j])
 		recv := s.gatherInbound(v, scratch)
-		if len(recv) > 0 {
-			s.halted[v] = false
-		}
-		if !s.halted[v] {
-			s.progs[v].Round(&s.envs[v], recv)
-		}
+		s.progs[v].Round(&s.envs[v], recv)
 		scratch = recv[:0]
 	}
 	return scratch
@@ -112,8 +98,26 @@ func (s *Simulator) stepParallel() {
 		s.initShards()
 	}
 	ps := s.par
-	s.opts.Runtime.Do(len(ps.shards), func(i int) {
-		ps.scratch[i] = s.runShard(ps, ps.shards[i], ps.scratch[i])
+	n := len(s.frontier)
+	if n == 0 {
+		return
+	}
+	workers := ps.workers
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers*shardsPerWorker - 1) / (workers * shardsPerWorker)
+	if size < minShardVertices {
+		size = minShardVertices
+	}
+	shards := (n + size - 1) / size
+	for len(ps.scratch) < shards {
+		ps.scratch = append(ps.scratch, nil)
+	}
+	s.opts.Runtime.Do(shards, func(i int) {
+		lo := i * size
+		hi := min(lo+size, n)
+		ps.scratch[i] = s.runShard(ps, lo, hi, ps.scratch[i])
 	})
 	ps.panicMu.Lock()
 	p := ps.panicked

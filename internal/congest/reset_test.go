@@ -115,6 +115,82 @@ func TestResetClearsRecordedPanicParallel(t *testing.T) {
 	}
 }
 
+// Reset must rewind the frontier machinery itself: the dirty-slot lists,
+// the per-vertex outbound sublists, the inbox/mail state, and the active
+// list all return to their pre-Init emptiness, so a reused simulator's
+// O(activity) bookkeeping cannot leak traffic or wakes into the next
+// protocol — and a rerun after the rewind is bit-identical to a fresh
+// simulator's.
+func TestResetRewindsDirtyLists(t *testing.T) {
+	g := gen.GNP(40, 0.12, 9, true)
+	newProg := func(v int) Program { return &fzProg{cfg: fzConfig{seed: 3}} }
+	for _, opts := range []Options{
+		{Engine: EngineSequential},
+		{Engine: EngineParallel},
+		{Engine: EngineGoroutine},
+	} {
+		// Fresh run for the comparison target.
+		fresh, err := NewUniform(g, newProg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Run(8); err != nil {
+			t.Fatal(err)
+		}
+
+		// Interrupt a run mid-flight so the dirty machinery is loaded.
+		sim, err := NewUniform(g, newProg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		if len(sim.curDirty) == 0 {
+			t.Fatalf("%s: workload left no messages in flight — weak test setup", opts.Engine)
+		}
+		sim.ResetUniform(newProg)
+		if len(sim.curDirty) != 0 || len(sim.nxDirty) != 0 {
+			t.Errorf("%s: Reset left dirty lists: cur %d, next %d",
+				opts.Engine, len(sim.curDirty), len(sim.nxDirty))
+		}
+		if len(sim.active) != 0 || len(sim.frontier) != 0 || len(sim.mail) != 0 || len(sim.woken) != 0 {
+			t.Errorf("%s: Reset left scheduling state: active %d frontier %d mail %d woken %d",
+				opts.Engine, len(sim.active), len(sim.frontier), len(sim.mail), len(sim.woken))
+		}
+		for v := range sim.envs {
+			if len(sim.envs[v].dirty) != 0 {
+				t.Errorf("%s: Reset left vertex %d outbound sublist (%d slots)",
+					opts.Engine, v, len(sim.envs[v].dirty))
+			}
+			if len(sim.inbox[v]) != 0 {
+				t.Errorf("%s: Reset left vertex %d inbox (%d ports)", opts.Engine, v, len(sim.inbox[v]))
+			}
+		}
+		if total, _ := sim.Pending(); total != 0 {
+			t.Errorf("%s: Pending after Reset = %d", opts.Engine, total)
+		}
+
+		// The rewound simulator replays the fresh execution exactly.
+		if err := sim.Run(8); err != nil {
+			t.Fatal(err)
+		}
+		if sim.Metrics() != fresh.Metrics() {
+			t.Errorf("%s: reused metrics %+v, fresh %+v", opts.Engine, sim.Metrics(), fresh.Metrics())
+		}
+		for v := 0; v < g.N(); v++ {
+			got := sim.Program(v).(*fzProg)
+			want := fresh.Program(v).(*fzProg)
+			if got.transcript != want.transcript || got.invoked != want.invoked {
+				t.Errorf("%s vertex %d: reused transcript %x/%d, fresh %x/%d",
+					opts.Engine, v, got.transcript, got.invoked, want.transcript, want.invoked)
+			}
+		}
+		sim.Close()
+		fresh.Close()
+	}
+}
+
 func TestResetProgramCountMismatch(t *testing.T) {
 	g := gen.Path(3)
 	sim, err := NewUniform(g, newFlood(0), Options{})

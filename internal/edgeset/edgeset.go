@@ -229,9 +229,7 @@ func (a *Assignment) Reset() {
 	a.cur++
 	a.n = 0
 	if a.cur == 0 { // generation wrap: restamp so stale entries cannot alias
-		for i := range a.gen {
-			a.gen[i] = 0
-		}
+		clear(a.gen)
 		a.cur = 1
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"slices"
+	"strings"
 	"testing"
 
 	"nearspan/internal/congest"
@@ -37,16 +38,21 @@ type BenchReport struct {
 	Benchmarks  []BenchResult `json:"benchmarks"`
 }
 
-// BenchJSON runs the spanner-assembly and engine benchmarks through
-// testing.Benchmark and writes the results as JSON — the perf trajectory
-// artifact CI uploads on every run, so future changes have a
-// machine-readable ns/op, B/op, allocs/op baseline to diff against
-// instead of eyeballing bench logs.
+// BenchJSON runs the spanner-assembly, engine, and frontier benchmarks
+// through testing.Benchmark and writes the results as JSON — the perf
+// trajectory artifact CI uploads on every run and gates against
+// (BenchGate), so future changes have a machine-readable ns/op, B/op,
+// allocs/op baseline to diff against instead of eyeballing bench logs.
+// go_maxprocs records the GOMAXPROCS actually in effect (the
+// `cmd/experiments -cpu` flag sets it), so parallel-engine rows can be
+// interpreted on the hardware that produced them.
 //
 // The assembly pair measures the columnar data plane against the
 // pre-columnar map plane (kept here as a reference implementation) on
 // the 500k-edge workload; the engine rows measure the full distributed
-// construction per CONGEST engine.
+// construction per CONGEST engine; the frontier rows measure the
+// sparse-activity workloads whose round cost the frontier-driven
+// stepper keeps at O(activity).
 func BenchJSON(w io.Writer) error {
 	rep := BenchReport{
 		GeneratedBy: "cmd/experiments -bench-json",
@@ -109,9 +115,136 @@ func BenchJSON(w io.Writer) error {
 		}
 	})
 
+	// --- Sparse-activity (frontier) workloads ---
+	// The frontier ≪ n regime the O(activity) round execution targets:
+	// a single climb trace walking a 16k-vertex path (message-driven,
+	// ~1 awake vertex per round) and a sparse-member ruling set on the
+	// same path (fixed schedule; most windows move few or no waves).
+	const fn = 16384
+	fg, rt, start := FrontierClimbWorkload(fn)
+	record("frontier/climb-path-16k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := congest.NewUniform(fg, protocols.NewClimb(rt, start), congest.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.RunUntilQuiet(protocols.ClimbMaxRounds(1, fn)); err != nil {
+				b.Fatal(err)
+			}
+			sim.Close()
+		}
+	})
+	isMember, q, c := FrontierRulingWorkload()
+	record("frontier/ruling-path-16k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := congest.NewUniform(fg, protocols.NewRulingSet(isMember, q, c, fn),
+				congest.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sim.Run(protocols.RulingSetRounds(q, c, fn)); err != nil {
+				b.Fatal(err)
+			}
+			sim.Close()
+		}
+	})
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// FrontierClimbWorkload builds the long-path climb workload shared by
+// BenchmarkFrontier and the bench-json baseline: a single trace
+// initiated at the far end of an n-vertex path walks parent pointers
+// toward vertex 0, one hop per round, so the per-round frontier is ~1
+// while n is large. One definition serves both so the committed baseline
+// and the bench suite always measure the identical workload.
+func FrontierClimbWorkload(n int) (*graph.Graph, *protocols.Routing, [][]int64) {
+	g := gen.Path(n)
+	parentPort := make([]int, n)
+	for v := 0; v < n; v++ {
+		parentPort[v] = -1
+		if v > 0 {
+			parentPort[v] = g.PortOf(v, v-1)
+		}
+	}
+	start := make([][]int64, n)
+	start[n-1] = []int64{-1}
+	return g, protocols.NewForestRouting(parentPort, -1), start
+}
+
+// FrontierRulingWorkload returns the sparse-member ruling-set parameters
+// of the frontier benchmark family (run on the FrontierClimbWorkload
+// path graph). Shared between BenchmarkFrontier and the bench-json
+// baseline for the same reason as the climb workload: one definition,
+// identical measurement.
+func FrontierRulingWorkload() (isMember func(v int) bool, q int32, c int) {
+	return func(v int) bool { return v%64 == 0 }, 2, 3
+}
+
+// GatedPrefixes names the benchmark families the CI perf gate compares
+// against the committed baseline. Rows outside these families (e.g. the
+// one-off centralized reference) are recorded but not gated.
+var GatedPrefixes = []string{"assembly/", "engine/", "frontier/"}
+
+// LoadBenchReport reads a BenchReport previously written by BenchJSON.
+func LoadBenchReport(r io.Reader) (BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return BenchReport{}, fmt.Errorf("bench report: %w", err)
+	}
+	return rep, nil
+}
+
+// gatedName reports whether a benchmark row belongs to a gated family.
+func gatedName(name string) bool {
+	for _, p := range GatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchGate compares a fresh report against the committed baseline and
+// returns one message per gate failure: a gated benchmark whose ns/op
+// regressed by more than maxRegress (0.25 = +25%), a gated baseline row
+// missing from the fresh report (silently lost coverage), or a
+// go_maxprocs mismatch between the reports (engine rows measured at
+// different parallelism are not comparable — rerun with -cpu matching
+// the baseline). A fresh row without a baseline row is fine — a new
+// benchmark cannot fail the gate before its baseline lands.
+func BenchGate(baseline, current BenchReport, maxRegress float64) []string {
+	var failures []string
+	if baseline.MaxProcs != current.MaxProcs {
+		failures = append(failures, fmt.Sprintf(
+			"go_maxprocs mismatch: baseline %d, fresh %d — rerun with -cpu %d",
+			baseline.MaxProcs, current.MaxProcs, baseline.MaxProcs))
+	}
+	fresh := make(map[string]BenchResult, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		fresh[b.Name] = b
+	}
+	for _, o := range baseline.Benchmarks {
+		if !gatedName(o.Name) || o.NsPerOp <= 0 {
+			continue
+		}
+		b, ok := fresh[o.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: in baseline but missing from the fresh report — gated coverage lost", o.Name))
+			continue
+		}
+		if b.NsPerOp > o.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, gate %+.0f%%)",
+				o.Name, b.NsPerOp, o.NsPerOp, 100*(b.NsPerOp/o.NsPerOp-1), 100*maxRegress))
+		}
+	}
+	return failures
 }
 
 // AssemblyWorkload generates the spanner-assembly stream both the root

@@ -178,3 +178,56 @@ func TestQuickSuiteSmoke(t *testing.T) {
 		t.Error("suite contains failures")
 	}
 }
+
+// The perf gate flags only gated families, true regressions, gated
+// baseline rows that vanished from the fresh report, and go_maxprocs
+// mismatches — and never fresh rows without a baseline.
+func TestBenchGate(t *testing.T) {
+	base := BenchReport{MaxProcs: 4, Benchmarks: []BenchResult{
+		{Name: "engine/sequential/gnp-1024", NsPerOp: 100},
+		{Name: "assembly/columnar/500k", NsPerOp: 100},
+		{Name: "frontier/climb-path-16k", NsPerOp: 100},
+		{Name: "build/centralized/gnp-1024", NsPerOp: 100},
+	}}
+	cur := BenchReport{MaxProcs: 4, Benchmarks: []BenchResult{
+		{Name: "engine/sequential/gnp-1024", NsPerOp: 130}, // regression
+		{Name: "assembly/columnar/500k", NsPerOp: 124},     // inside the 25% gate
+		{Name: "frontier/climb-path-16k", NsPerOp: 40},     // improvement
+		{Name: "frontier/ruling-path-16k", NsPerOp: 500},   // no baseline row: skipped
+		{Name: "build/centralized/gnp-1024", NsPerOp: 900}, // ungated family
+	}}
+	msgs := BenchGate(base, cur, 0.25)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "engine/sequential/gnp-1024") {
+		t.Errorf("BenchGate = %v, want exactly the engine regression", msgs)
+	}
+	if msgs := BenchGate(base, base, 0.25); len(msgs) != 0 {
+		t.Errorf("identical reports flagged: %v", msgs)
+	}
+
+	// A gated baseline row missing from the fresh report fails the gate.
+	lost := BenchReport{MaxProcs: 4, Benchmarks: cur.Benchmarks[1:]}
+	msgs = BenchGate(base, lost, 0.25)
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "engine/sequential/gnp-1024") && strings.Contains(m, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lost gated coverage not flagged: %v", msgs)
+	}
+
+	// Reports from different GOMAXPROCS are not comparable.
+	other := cur
+	other.MaxProcs = 1
+	msgs = BenchGate(base, other, 0.25)
+	found = false
+	for _, m := range msgs {
+		if strings.Contains(m, "go_maxprocs mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("go_maxprocs mismatch not flagged: %v", msgs)
+	}
+}
