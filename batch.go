@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"nearspan/internal/core"
+	"nearspan/internal/protocols"
 	"nearspan/internal/sched"
 )
 
@@ -123,16 +124,21 @@ func (b *BatchBuilder) buildJob(ctx context.Context, i int, job BuildJob) BuildO
 		Engine:       cfg.engine(),
 		KeepClusters: cfg.KeepClusters,
 		Runtime:      b.rt,
+		RoundBudget:  cfg.RoundBudget,
 		OnStep:       cfg.OnStep,
 	}
 	if b.onStep != nil {
-		cfgStep := cfg.OnStep
-		opts.OnStep = func(sm StepMetrics) {
-			if cfgStep != nil {
-				cfgStep(sm)
-			}
-			b.onStep(i, sm)
+		// The per-job OnStep slot is a single function; fan it out so the
+		// job's own callback and the batch-level callback are independent
+		// subscribers instead of a hand-merged closure (and so further
+		// consumers — e.g. a service's /events streams — can attach and
+		// detach race-free mid-build).
+		var fan protocols.StepFanout
+		if cfg.OnStep != nil {
+			fan.Subscribe(cfg.OnStep)
 		}
+		fan.Subscribe(func(sm StepMetrics) { b.onStep(i, sm) })
+		opts.OnStep = fan.Emit
 	}
 	res, err := core.Build(ctx, job.Graph, p, opts)
 	if err != nil {

@@ -1,0 +1,78 @@
+// Command spannerd is the long-running spanner build service: it
+// accepts build jobs over HTTP, executes them concurrently on the
+// shared CONGEST runtime, streams per-step progress, and drains
+// gracefully on SIGTERM — in-flight builds finish or are cancelled at a
+// simulated round boundary, never emitting a partial spanner.
+//
+// Quick start:
+//
+//	spannerd -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "graph": {"type": "gnp", "n": 256, "p": 0.0625, "seed": 256, "connected": true},
+//	  "eps": 0.3333333333333333, "kappa": 3, "rho": 0.49,
+//	  "mode": "distributed", "engine": "parallel"
+//	}'
+//	curl -s localhost:8080/v1/jobs/j000001          # status + result
+//	curl -sN localhost:8080/v1/jobs/j000001/events  # NDJSON step stream
+//	curl -s localhost:8080/metrics                  # Prometheus text
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nearspan/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "spannerd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		queue        = flag.Int("queue", 64, "bounded job queue depth (submissions beyond it get 429)")
+		builds       = flag.Int("builds", 2, "concurrent builds")
+		schedWorkers = flag.Int("sched-workers", 0, "private scheduler workers (0 = share the process-wide pool)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job wall-clock limit (0 = none)")
+		maxTimeout   = flag.Duration("max-job-timeout", 0, "cap on requested per-job timeouts (0 = no cap)")
+		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "how long in-flight builds get on SIGTERM before cancellation at a round boundary")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		QueueDepth:     *queue,
+		Builds:         *builds,
+		SchedWorkers:   *schedWorkers,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainGrace:     *drainGrace,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("spannerd: listening on %s (queue %d, builds %d, drain grace %s)",
+		l.Addr(), *queue, *builds, *drainGrace)
+
+	// SIGTERM/SIGINT starts the drain: shed new work, finish or cancel
+	// in-flight builds at a round boundary, release the pools, exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := service.Run(ctx, srv, l); err != nil {
+		return err
+	}
+	log.Printf("spannerd: drained cleanly")
+	return nil
+}

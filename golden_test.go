@@ -3,8 +3,6 @@ package nearspan_test
 import (
 	"context"
 	"encoding/json"
-	"fmt"
-	"hash/fnv"
 	"os"
 	"testing"
 
@@ -32,22 +30,10 @@ type goldenEntry struct {
 	Hash  string  `json:"hash"`
 }
 
-// goldenFingerprint hashes the canonical (u, v ascending) edge list.
+// goldenFingerprint hashes the canonical (u, v ascending) edge list —
+// the shared graph.Fingerprint, which the build service also reports.
 func goldenFingerprint(g *graph.Graph) (int, string) {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	g.Edges(func(u, v int) {
-		buf[0] = byte(u)
-		buf[1] = byte(u >> 8)
-		buf[2] = byte(u >> 16)
-		buf[3] = byte(u >> 24)
-		buf[4] = byte(v)
-		buf[5] = byte(v >> 8)
-		buf[6] = byte(v >> 16)
-		buf[7] = byte(v >> 24)
-		h.Write(buf)
-	})
-	return g.M(), fmt.Sprintf("%016x", h.Sum64())
+	return graph.Fingerprint(g)
 }
 
 func goldenGraphs(t *testing.T) map[string]*graph.Graph {

@@ -35,6 +35,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"nearspan/internal/graph"
 	"nearspan/internal/sched"
@@ -437,6 +438,23 @@ func (s *Simulator) Metrics() Metrics { return s.metrics }
 
 // Round returns the number of rounds executed so far.
 func (s *Simulator) Round() int { return s.round }
+
+// Active returns the number of vertices that have not halted.
+func (s *Simulator) Active() int { return len(s.active) }
+
+// ArenaBytes returns the retained size of the simulator's per-topology
+// machinery: the cur/next message arenas, their slot counters, and the
+// slot tables (twin and destination columns). The value is a pure
+// function of the topology and bandwidth — it does not vary with
+// traffic — so long-running services use it as the per-build arena
+// footprint when tracking high-water memory across heterogeneous jobs.
+func (s *Simulator) ArenaBytes() int64 {
+	const msgBytes = int64(unsafe.Sizeof(Message{}))
+	arenas := int64(len(s.cur)+len(s.next)) * msgBytes
+	counts := int64(len(s.curCounts)+len(s.nxCounts)) * 2
+	tables := int64(len(s.twin)+len(s.destV)+len(s.destPort)) * 4
+	return arenas + counts + tables
+}
 
 // Graph returns the underlying topology (read-only).
 func (s *Simulator) Graph() *graph.Graph { return s.g }

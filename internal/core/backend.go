@@ -37,6 +37,8 @@ func (d *distributedBackend) beginPhase(i int) { d.phase = i }
 
 func (d *distributedBackend) steps() []protocols.StepMetrics { return d.net.Steps() }
 
+func (d *distributedBackend) arenaBytes() int64 { return d.net.Sim().ArenaBytes() }
+
 func (d *distributedBackend) messages() int64 {
 	var total int64
 	for _, s := range d.net.Steps() {
@@ -124,18 +126,31 @@ type centralBackend struct {
 	phase  int
 	rec    []protocols.StepMetrics
 	onStep func(protocols.StepMetrics)
+
+	// budget, when positive, bounds the cumulative recorded step rounds
+	// — the centralized rendering of Options.RoundBudget. There is no
+	// simulator, so an exhausted budget carries no message histogram.
+	budget int
+	used   int
 }
 
 func (c *centralBackend) beginPhase(i int) { c.phase = i }
 
 func (c *centralBackend) steps() []protocols.StepMetrics { return c.rec }
 
-func (c *centralBackend) record(step string, rounds int) {
+func (c *centralBackend) arenaBytes() int64 { return 0 }
+
+func (c *centralBackend) record(step string, rounds int) error {
 	sm := protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds}
 	c.rec = append(c.rec, sm)
 	if c.onStep != nil {
 		c.onStep(sm)
 	}
+	c.used += rounds
+	if c.budget > 0 && c.used > c.budget {
+		return &congest.ErrBudgetExhausted{MaxRounds: c.budget}
+	}
+	return nil
 }
 
 func (c *centralBackend) messages() int64 { return 0 }
@@ -145,7 +160,9 @@ func (c *centralBackend) nearNeighbors(ctx context.Context, centers []int, deg i
 		return protocols.NNResult{}, 0, err
 	}
 	rounds := protocols.NearNeighborsRounds(deg, delta)
-	c.record(protocols.StepNearNeighbors, rounds)
+	if err := c.record(protocols.StepNearNeighbors, rounds); err != nil {
+		return protocols.NNResult{}, rounds, err
+	}
 	return protocols.CentralNearNeighbors(c.g, centers, deg, delta), rounds, nil
 }
 
@@ -154,7 +171,9 @@ func (c *centralBackend) rulingSet(ctx context.Context, members []int, q int32, 
 		return nil, 0, err
 	}
 	rounds := protocols.RulingSetRounds(q, cc, c.nEst)
-	c.record(protocols.StepRulingSet, rounds)
+	if err := c.record(protocols.StepRulingSet, rounds); err != nil {
+		return nil, rounds, err
+	}
 	return protocols.CentralRulingSet(c.g, members, q, cc, c.nEst), rounds, nil
 }
 
@@ -185,7 +204,9 @@ func (c *centralBackend) forest(ctx context.Context, roots []int, depth int32) (
 		}
 	}
 	rounds := protocols.ForestRounds(depth)
-	c.record(protocols.StepForest, rounds)
+	if err := c.record(protocols.StepForest, rounds); err != nil {
+		return protocols.ForestResult{}, rounds, err
+	}
 	return res, rounds, nil
 }
 
@@ -220,6 +241,8 @@ func (c *centralBackend) climb(ctx context.Context, step string, rt *protocols.R
 			}
 		}
 	}
-	c.record(step, 0)
+	if err := c.record(step, 0); err != nil {
+		return added, 0, err
+	}
 	return added, 0, nil
 }

@@ -87,8 +87,16 @@ type Options struct {
 	// OnStep, when set, receives each protocol step's metrics as it
 	// completes — the per-build progress stream. It is invoked
 	// synchronously on the building goroutine, in execution order, in
-	// both modes (centralized steps report their schedule budgets).
+	// both modes (centralized steps report their schedule budgets). Fan
+	// one build out to several consumers with protocols.StepFanout.
 	OnStep func(protocols.StepMetrics)
+	// RoundBudget, when positive, bounds the build's total simulated
+	// rounds: a construction that would exceed it aborts with a wrapped
+	// *congest.ErrBudgetExhausted instead of running on — the service
+	// layer's per-job round cap. Distributed builds count executed
+	// rounds and surface the live pending-message histogram at the cut;
+	// centralized builds count the recorded schedule budgets.
+	RoundBudget int
 }
 
 // PhaseStats records one phase's measurements, aligned with the paper's
@@ -129,6 +137,12 @@ type Result struct {
 	// messages.
 	Steps []protocols.StepMetrics
 
+	// ArenaBytes is the retained size of the simulator's message arenas
+	// and slot tables in ModeDistributed (a pure function of topology
+	// and bandwidth; zero in ModeCentralized) — the build's arena
+	// footprint, tracked as a high-water mark by the service layer.
+	ArenaBytes int64
+
 	// TotalRounds is the measured CONGEST round count in
 	// ModeDistributed. In ModeCentralized it counts only the
 	// fixed-schedule protocol budgets (Algorithm 1, ruling sets, forest
@@ -163,6 +177,7 @@ type backend interface {
 	climb(ctx context.Context, step string, rt *protocols.Routing, start [][]int64, keysPerVertex, pathLen int, h *edgeset.Set) (int, int, error)
 	messages() int64
 	steps() []protocols.StepMetrics
+	arenaBytes() int64
 }
 
 // Build constructs the spanner for g under p. Cancelling the context
@@ -179,7 +194,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	var bk backend
 	switch opts.Mode {
 	case ModeCentralized:
-		bk = &centralBackend{g: g, nEst: p.NEstimate, onStep: opts.OnStep}
+		bk = &centralBackend{g: g, nEst: p.NEstimate, onStep: opts.OnStep, budget: opts.RoundBudget}
 	case ModeDistributed:
 		// One persistent network for the whole construction: every
 		// phase's protocol steps attach to it as sessions, and every
@@ -190,6 +205,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 			return nil, err
 		}
 		db.net.SetOnStep(opts.OnStep)
+		db.net.SetRoundBudget(opts.RoundBudget)
 		defer db.close()
 		bk = db
 	default:
@@ -264,6 +280,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	}
 	res.Messages = bk.messages()
 	res.Steps = bk.steps()
+	res.ArenaBytes = bk.arenaBytes()
 	return res, nil
 }
 

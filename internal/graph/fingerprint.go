@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns the edge count and the FNV-1a hash of the
+// canonical (u, v ascending) edge list — the bit-identity witness used
+// by the golden-spanner fixtures and reported by the build service, so
+// a spanner built anywhere (any mode, any engine, any daemon) can be
+// compared for exact equality by exchanging 16 hex characters instead
+// of edge lists.
+func Fingerprint(g *Graph) (m int, hash string) {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	g.Edges(func(u, v int) {
+		buf[0] = byte(u)
+		buf[1] = byte(u >> 8)
+		buf[2] = byte(u >> 16)
+		buf[3] = byte(u >> 24)
+		buf[4] = byte(v)
+		buf[5] = byte(v >> 8)
+		buf[6] = byte(v >> 16)
+		buf[7] = byte(v >> 24)
+		h.Write(buf)
+	})
+	return g.M(), fmt.Sprintf("%016x", h.Sum64())
+}

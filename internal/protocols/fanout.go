@@ -1,0 +1,89 @@
+package protocols
+
+import (
+	"slices"
+	"sync"
+)
+
+// StepFanout fans one OnStep metrics stream out to a dynamic set of
+// subscribers. It exists because a build's OnStep hook is a single
+// function slot: before the fan-out, every consumer beyond the first
+// (a batch progress bar, an HTTP /events stream, a metrics counter) had
+// to be merged by hand into one closure, and consumers could not attach
+// or detach while the build ran. A StepFanout is that merge point, made
+// race-safe:
+//
+//   - Emit delivers to every current subscriber in subscription order,
+//     holding the fan-out lock, so delivery never tears: a subscriber
+//     sees a prefix-free, gap-free suffix of the stream.
+//   - Subscribe replays every previously emitted metric to the new
+//     subscriber before it goes live, atomically with respect to Emit —
+//     a late /events client sees the full history followed seamlessly
+//     by the live stream, with no gap and no duplicate.
+//   - After Unsubscribe returns, the callback is guaranteed not to be
+//     invoked again (Unsubscribe waits out any in-flight Emit), so a
+//     subscriber may safely release resources its callback uses.
+//
+// Callbacks run synchronously under the fan-out lock and must not call
+// back into the same StepFanout (Subscribe/Unsubscribe/Emit would
+// self-deadlock). The zero value is ready to use.
+type StepFanout struct {
+	mu      sync.Mutex
+	subs    []fanoutSub
+	nextID  int
+	history []StepMetrics
+}
+
+type fanoutSub struct {
+	id int
+	fn func(StepMetrics)
+}
+
+// Subscribe registers fn, replays the metrics emitted so far in order,
+// and returns the subscription id for Unsubscribe. fn then receives
+// every future Emit until unsubscribed.
+func (f *StepFanout) Subscribe(fn func(StepMetrics)) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.nextID
+	f.nextID++
+	for _, sm := range f.history {
+		fn(sm)
+	}
+	f.subs = append(f.subs, fanoutSub{id: id, fn: fn})
+	return id
+}
+
+// Unsubscribe removes the subscription. It is idempotent; once it
+// returns, the callback will not be invoked again.
+func (f *StepFanout) Unsubscribe(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.subs = slices.DeleteFunc(f.subs, func(s fanoutSub) bool { return s.id == id })
+}
+
+// Emit records sm in the history and delivers it to every subscriber in
+// subscription order. It is safe for concurrent use, though a build
+// emits from its one building goroutine.
+func (f *StepFanout) Emit(sm StepMetrics) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.history = append(f.history, sm)
+	for _, s := range f.subs {
+		s.fn(sm)
+	}
+}
+
+// Steps returns a copy of the emitted history.
+func (f *StepFanout) Steps() []StepMetrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return slices.Clone(f.history)
+}
+
+// Len returns the number of live subscribers.
+func (f *StepFanout) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}

@@ -2,8 +2,10 @@ package protocols
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"maps"
+	"math"
 	"slices"
 
 	"nearspan/internal/congest"
@@ -50,6 +52,13 @@ type Network struct {
 	sim    *congest.Simulator
 	steps  []StepMetrics
 	onStep func(StepMetrics)
+
+	// budget, when positive, bounds the total simulated rounds executed
+	// across every session on this network; used tracks consumption.
+	// Idle records consume nothing — the budget is an execution bound,
+	// not a schedule bound.
+	budget int
+	used   int
 }
 
 // idleProgram occupies vertices of a freshly created network before the
@@ -77,6 +86,32 @@ func (n *Network) Graph() *graph.Graph { return n.sim.Graph() }
 
 // Steps returns the metrics of every session run so far, in order.
 func (n *Network) Steps() []StepMetrics { return n.steps }
+
+// SetRoundBudget bounds the total simulated rounds the network may
+// execute across all of its sessions; 0 (the default) means unlimited.
+// A session whose schedule does not fit in the remaining budget runs
+// only the remaining rounds and then fails with a wrapped
+// *congest.ErrBudgetExhausted carrying the live pending-message
+// histogram — the per-job round-budget enforcement point of the service
+// layer. The cut lands at a round boundary, so an exhausted build can
+// never emit a partial result (its error aborts the construction).
+func (n *Network) SetRoundBudget(rounds int) { n.budget = rounds }
+
+// RoundsUsed returns the simulated rounds executed so far across all
+// sessions on this network.
+func (n *Network) RoundsUsed() int { return n.used }
+
+// remaining returns the rounds still executable under the budget, or
+// math.MaxInt when no budget is set.
+func (n *Network) remaining() int {
+	if n.budget <= 0 {
+		return math.MaxInt
+	}
+	if rem := n.budget - n.used; rem > 0 {
+		return rem
+	}
+	return 0
+}
 
 // SetOnStep installs a progress callback invoked synchronously with each
 // recorded step metric (including idle records), in execution order. It
@@ -126,26 +161,57 @@ func (n *Network) Session(phase int, step string, kind uint8) *Session {
 // Run attaches factory's programs to the network and executes exactly
 // rounds rounds, recording the step metrics. Cancelling the context
 // aborts the session at a round boundary with ctx.Err() (wrapped); no
-// metrics are recorded for an aborted session.
+// metrics are recorded for an aborted session. If the network's round
+// budget cannot cover the schedule, the session runs only the remaining
+// rounds and fails with a wrapped *congest.ErrBudgetExhausted.
 func (s *Session) Run(ctx context.Context, factory func(v int) congest.Program, rounds int) error {
 	s.net.sim.ResetUniform(factory)
-	if err := s.net.sim.RunContext(ctx, rounds); err != nil {
+	rem := s.net.remaining()
+	run := min(rounds, rem)
+	err := s.net.sim.RunContext(ctx, run)
+	s.net.used += s.net.sim.Metrics().Rounds
+	if err != nil {
 		return fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
+	}
+	if run < rounds {
+		return fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, s.budgetExhausted())
 	}
 	return s.finish()
 }
 
 // RunUntilQuiet attaches factory's programs and executes until
-// quiescence (at most maxRounds), returning the measured round count.
-// An exhausted budget surfaces as a wrapped *congest.ErrBudgetExhausted
-// carrying the pending-message histogram.
+// quiescence (at most maxRounds, further capped by the network's round
+// budget), returning the measured round count. An exhausted budget —
+// the protocol's own or the network's — surfaces as a wrapped
+// *congest.ErrBudgetExhausted carrying the pending-message histogram.
 func (s *Session) RunUntilQuiet(ctx context.Context, factory func(v int) congest.Program, maxRounds int) (int, error) {
 	s.net.sim.ResetUniform(factory)
-	rounds, err := s.net.sim.RunUntilQuietContext(ctx, maxRounds)
+	rem := s.net.remaining()
+	capped := min(maxRounds, rem)
+	rounds, err := s.net.sim.RunUntilQuietContext(ctx, capped)
+	s.net.used += rounds
 	if err != nil {
+		var be *congest.ErrBudgetExhausted
+		if errors.As(err, &be) && capped < maxRounds {
+			// The network budget, not the protocol's own cap, cut the run.
+			be.MaxRounds = s.net.budget
+		}
 		return rounds, fmt.Errorf("protocols: %s session (phase %d): %w", s.step, s.phase, err)
 	}
 	return rounds, s.finish()
+}
+
+// budgetExhausted builds the typed budget error from the simulator's
+// live state: the in-flight histogram at the cut plus the still-active
+// vertex count, attributed to the network's total budget.
+func (s *Session) budgetExhausted() *congest.ErrBudgetExhausted {
+	total, byKind := s.net.sim.Pending()
+	return &congest.ErrBudgetExhausted{
+		MaxRounds: s.net.budget,
+		Pending:   total,
+		ByKind:    byKind,
+		Active:    s.net.sim.Active(),
+	}
 }
 
 // finish verifies the session's kind namespace is clean and records its

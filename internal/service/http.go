@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nearspan/internal/protocols"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/jobs             submit a job (JSON spec, or a raw edge
+//	                          list with parameters in the query string);
+//	                          202 with the job id, 429 queue full,
+//	                          503 draining, 400 bad spec. With ?wait=1
+//	                          the response blocks until the job is
+//	                          terminal and carries its full document
+//	                          (failed jobs answer with their structured
+//	                          status — 422 budget-exhausted, 408
+//	                          timeout, ...).
+//	GET  /v1/jobs             list all jobs (summaries).
+//	GET  /v1/jobs/{id}        one job document.
+//	DELETE /v1/jobs/{id}      request cancellation.
+//	GET  /v1/jobs/{id}/events stream the per-step metrics as NDJSON
+//	                          (or SSE with Accept: text/event-stream):
+//	                          full replay, then live until terminal,
+//	                          closing with a summary record.
+//	GET  /healthz             200 ok, 503 once draining.
+//	GET  /metrics             Prometheus text exposition.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// parseSubmission decodes a submission: a JSON JobSpec, or — for any
+// non-JSON content type — a raw edge-list body with the spanner
+// parameters in the query string (the curl-friendly upload path).
+func parseSubmission(r *http.Request) (JobSpec, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("read body: %w", err)
+	}
+	// JSON when declared as such — or when the content type is curl's
+	// default form encoding (plain `curl -d '{...}'`) and the body looks
+	// like JSON. Everything else is an edge-list upload.
+	ct := r.Header.Get("Content-Type")
+	isJSON := strings.HasPrefix(ct, "application/json") || ct == ""
+	if !isJSON && strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
+		trimmed := strings.TrimLeft(string(body), " \t\r\n")
+		isJSON = strings.HasPrefix(trimmed, "{")
+	}
+	if isJSON {
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return JobSpec{}, fmt.Errorf("decode job spec: %w", err)
+		}
+		return spec, nil
+	}
+	q := r.URL.Query()
+	spec := JobSpec{
+		Name:   q.Get("name"),
+		Graph:  GraphSpec{Type: "edgelist", Edges: string(body)},
+		Mode:   q.Get("mode"),
+		Engine: q.Get("engine"),
+	}
+	parse := func(key string, dst *float64) error {
+		if v := q.Get(key); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", key, err)
+			}
+			*dst = f
+		}
+		return nil
+	}
+	parseInt := func(key string, dst *int) error {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", key, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := errors.Join(
+		parse("eps", &spec.Eps),
+		parse("target_eps_prime", &spec.TargetEpsPrime),
+		parse("rho", &spec.Rho),
+		parseInt("kappa", &spec.Kappa),
+		parseInt("max_rounds", &spec.MaxRounds),
+	); err != nil {
+		return JobSpec{}, err
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("query timeout_ms: %w", err)
+		}
+		spec.TimeoutMS = ms
+	}
+	return spec, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseSubmission(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		var bad *BadRequestError
+		switch {
+		case errors.As(err, &bad):
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-job.Done():
+			v := job.View()
+			status := http.StatusOK
+			if v.Error != nil {
+				status = v.Error.HTTPStatus
+			}
+			writeJSON(w, status, v)
+		case <-r.Context().Done():
+			// The client went away; the job keeps building.
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+// eventRecord is one /events line: either a step metric or the closing
+// summary.
+type eventRecord struct {
+	Phase           int    `json:"phase"`
+	Step            string `json:"step"`
+	Rounds          int    `json:"rounds"`
+	Messages        int64  `json:"messages"`
+	MaxRoundTraffic int64  `json:"max_round_traffic"`
+}
+
+type eventFinal struct {
+	Done bool    `json:"done"`
+	Job  JobView `json:"job"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// The subscriber callback runs under the fan-out lock on the build
+	// goroutine; it must never block on the client. It appends into a
+	// local buffer and nudges the writer loop, which drains at whatever
+	// pace the connection sustains — an unbounded buffer, but bounded in
+	// practice by the build's step count (a few per phase).
+	var (
+		bufMu  sync.Mutex
+		buf    []protocols.StepMetrics
+		notify = make(chan struct{}, 1)
+	)
+	id := job.fan.Subscribe(func(sm protocols.StepMetrics) {
+		bufMu.Lock()
+		buf = append(buf, sm)
+		bufMu.Unlock()
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	})
+	defer job.fan.Unsubscribe(id)
+
+	enc := json.NewEncoder(w)
+	writeRecord := func(v any) bool {
+		if sse {
+			io.WriteString(w, "data: ")
+		}
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if sse {
+			io.WriteString(w, "\n")
+		}
+		return true
+	}
+	drain := func() bool {
+		bufMu.Lock()
+		pending := buf
+		buf = nil
+		bufMu.Unlock()
+		for _, sm := range pending {
+			rec := eventRecord{
+				Phase:           sm.Phase,
+				Step:            sm.Step,
+				Rounds:          sm.Rounds,
+				Messages:        sm.Messages,
+				MaxRoundTraffic: sm.MaxRoundTraffic,
+			}
+			if !writeRecord(rec) {
+				return false
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	for {
+		if !drain() {
+			return
+		}
+		select {
+		case <-notify:
+		case <-job.Done():
+			// Flush whatever raced in between the last drain and the
+			// terminal state, then close with the summary.
+			if !drain() {
+				return
+			}
+			writeRecord(eventFinal{Done: true, Job: job.View()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.met.render(s.QueueDepth(), s.Draining()))
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// metrics is the server's operational counter set, exported in the
+// Prometheus text exposition format by /metrics. Everything is a plain
+// atomic — no client library — because the surface is a handful of
+// counters and gauges and the format is trivially stable text.
+type metrics struct {
+	active    atomic.Int64 // builds running right now (gauge)
+	done      atomic.Int64 // jobs finished with a spanner
+	failed    atomic.Int64 // jobs finished with an error
+	cancelled atomic.Int64 // jobs cancelled (client or drain)
+	rejected  atomic.Int64 // submissions shed (queue full, draining)
+
+	steps      atomic.Int64 // protocol steps completed
+	rounds     atomic.Int64 // simulated rounds executed (rate() = rounds/sec)
+	messages   atomic.Int64 // simulated messages sent
+	builds     atomic.Int64 // builds attempted (duration denominator)
+	buildNanos atomic.Int64 // cumulative wall-clock build time
+
+	arenaHighWater atomic.Int64 // largest per-build arena footprint seen
+}
+
+// highWater raises the arena high-water mark to b if larger.
+func (m *metrics) highWater(b int64) {
+	for {
+		cur := m.arenaHighWater.Load()
+		if b <= cur || m.arenaHighWater.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// render writes the exposition text. queueDepth and draining are
+// point-in-time server state supplied by the caller.
+func (m *metrics) render(queueDepth int, draining bool) string {
+	var sb strings.Builder
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("spannerd_queue_depth", "Accepted jobs waiting for a build worker.", int64(queueDepth))
+	gauge("spannerd_active_builds", "Builds running right now.", m.active.Load())
+	d := int64(0)
+	if draining {
+		d = 1
+	}
+	gauge("spannerd_draining", "1 while the server is draining.", d)
+
+	fmt.Fprintf(&sb, "# HELP spannerd_jobs_total Jobs by terminal state.\n# TYPE spannerd_jobs_total counter\n")
+	fmt.Fprintf(&sb, "spannerd_jobs_total{state=\"done\"} %d\n", m.done.Load())
+	fmt.Fprintf(&sb, "spannerd_jobs_total{state=\"failed\"} %d\n", m.failed.Load())
+	fmt.Fprintf(&sb, "spannerd_jobs_total{state=\"cancelled\"} %d\n", m.cancelled.Load())
+	fmt.Fprintf(&sb, "spannerd_jobs_total{state=\"rejected\"} %d\n", m.rejected.Load())
+
+	counter("spannerd_steps_total", "Protocol steps completed across all builds.", m.steps.Load())
+	counter("spannerd_rounds_total", "Simulated CONGEST rounds executed (rate() gives rounds/sec).", m.rounds.Load())
+	counter("spannerd_messages_total", "Simulated messages sent across all builds.", m.messages.Load())
+	gauge("spannerd_arena_high_water_bytes", "Largest per-build simulator arena footprint seen.", m.arenaHighWater.Load())
+
+	fmt.Fprintf(&sb, "# HELP spannerd_build_seconds Cumulative build wall-clock time and count.\n# TYPE spannerd_build_seconds summary\n")
+	fmt.Fprintf(&sb, "spannerd_build_seconds_sum %g\n", float64(m.buildNanos.Load())/1e9)
+	fmt.Fprintf(&sb, "spannerd_build_seconds_count %d\n", m.builds.Load())
+	return sb.String()
+}

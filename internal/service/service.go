@@ -1,0 +1,376 @@
+// Package service is the long-running face of the spanner builder: a
+// job daemon that accepts build submissions over HTTP, executes them on
+// the shared execution runtime, streams per-step progress, and exposes
+// operational state (health, Prometheus-style metrics).
+//
+// The lifecycle is a queue → build → drain state machine:
+//
+//	submit ──▶ bounded queue ──▶ worker pool ──▶ core.Build on the
+//	  │   full: 429                │                shared sched runtime
+//	  │   draining: 503            │ per-job ctx: wall-clock timeout +
+//	  │                            │ round budget + drain force-cancel
+//	  ▼                            ▼
+//	registry (status, /events fan-out)        done | failed | cancelled
+//
+// Drain (SIGTERM) never emits a partial spanner: new submissions are
+// shed with 503, queued-but-unstarted jobs are marked cancelled, and
+// in-flight builds get the drain grace to finish before their contexts
+// are cancelled — which the construction observes at a simulated round
+// boundary, discarding the build entirely (a core.Build either returns
+// a complete spanner or an error, never a prefix). Determinism is
+// untouched: cancellation truncates executions, it cannot corrupt them,
+// so every job that does complete is bit-identical to the same build
+// run anywhere else.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nearspan/internal/core"
+	"nearspan/internal/graph"
+	"nearspan/internal/protocols"
+	"nearspan/internal/sched"
+)
+
+// Options configure a Server. The zero value is usable: a queue of 64,
+// 2 concurrent builds, the process-wide scheduler, no default timeout,
+// and a 10-second drain grace.
+type Options struct {
+	// QueueDepth bounds the number of accepted-but-unstarted jobs;
+	// submissions beyond it are shed with 429 (<= 0 means 64).
+	QueueDepth int
+	// Builds bounds the number of concurrently running builds
+	// (<= 0 means 2). CPU parallelism is governed by the scheduler the
+	// builds share, not by this knob.
+	Builds int
+	// SchedWorkers, when positive, gives the server a private sched
+	// runtime with that many workers, closed at drain — the
+	// configuration tests use to assert a leak-free shutdown. When
+	// zero, builds share the process-wide sched.Default(), which is
+	// never closed.
+	SchedWorkers int
+	// DefaultTimeout is the per-job wall-clock limit applied when a
+	// submission carries none; 0 means no default.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested per-job timeout; 0 means no cap.
+	MaxTimeout time.Duration
+	// DrainGrace is how long Drain lets in-flight builds run before
+	// cancelling them (<= 0 means 10s). Cancellation lands at a round
+	// boundary, so the post-grace tail is one round, not one build.
+	DrainGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Builds <= 0 {
+		o.Builds = 2
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = 10 * time.Second
+	}
+	return o
+}
+
+// Errors the submission path reports; the HTTP layer maps them to 429
+// and 503.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrDraining  = errors.New("service: server is draining")
+)
+
+// Server is the build daemon: a bounded job queue, a worker pool
+// feeding core.Build on a shared scheduler, and the job registry the
+// HTTP surface reads. Construct with New, serve its Handler, and shut
+// down with Drain (or let Run orchestrate both).
+type Server struct {
+	opts  Options
+	rt    *sched.Runtime
+	ownRT bool
+
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for listing
+	nextID int
+
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed when drain starts: workers stop picking up jobs
+	drainOnce sync.Once
+
+	// buildCtx parents every job's build context; buildCancel is the
+	// drain deadline's force-cancel.
+	buildCtx    context.Context
+	buildCancel context.CancelFunc
+
+	wg  sync.WaitGroup // worker goroutines
+	met metrics
+
+	// beforeBuild, when set (tests only), runs on the worker goroutine
+	// after a job leaves the queue and before its build starts.
+	beforeBuild func(*Job)
+}
+
+// New constructs the server and starts its workers.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+		drainCh: make(chan struct{}),
+	}
+	if opts.SchedWorkers > 0 {
+		s.rt = sched.New(opts.SchedWorkers)
+		s.ownRT = true
+	} else {
+		s.rt = sched.Default()
+	}
+	s.buildCtx, s.buildCancel = context.WithCancel(context.Background())
+	s.wg.Add(opts.Builds)
+	for i := 0; i < opts.Builds; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates the spec, registers the job, and enqueues it.
+// Returns ErrDraining once Drain has started and ErrQueueFull when the
+// queue is at capacity (the caller sheds load); spec errors are
+// *BadRequestError.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.draining.Load() {
+		s.met.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.mu.Unlock()
+
+	job, err := newJob(id, spec, s.opts.DefaultTimeout, s.opts.MaxTimeout, time.Now())
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// BadRequestError marks a submission rejected for its content (HTTP
+// 400), as opposed to server state (429/503).
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// Job returns the job with the given id, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs returns every registered job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth returns the number of accepted-but-unstarted jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// The drain check comes first so a closed drainCh wins over a
+		// non-empty queue (select would otherwise pick randomly).
+		select {
+		case <-s.drainCh:
+			return
+		default:
+		}
+		select {
+		case <-s.drainCh:
+			return
+		case job := <-s.queue:
+			if s.draining.Load() {
+				s.finishCancelled(job, "cancelled: server draining before build started")
+				continue
+			}
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one build under the job's limits and records the
+// terminal state.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.buildCtx)
+	defer cancel()
+	if job.setRunning(cancel, time.Now()) {
+		s.finishCancelled(job, "cancelled before build started")
+		return
+	}
+	if job.timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, job.timeout)
+		defer tcancel()
+	}
+	if s.beforeBuild != nil {
+		s.beforeBuild(job)
+	}
+
+	s.met.active.Add(1)
+	start := time.Now()
+	res, err := core.Build(ctx, job.g, job.p, core.Options{
+		Mode:        job.mode,
+		Engine:      job.engine,
+		Runtime:     s.rt,
+		RoundBudget: job.Spec.MaxRounds,
+		OnStep: func(sm protocols.StepMetrics) {
+			s.met.steps.Add(1)
+			s.met.rounds.Add(int64(sm.Rounds))
+			s.met.messages.Add(sm.Messages)
+			job.fan.Emit(sm)
+		},
+	})
+	dur := time.Since(start)
+	s.met.active.Add(-1)
+	s.met.buildNanos.Add(int64(dur))
+	s.met.builds.Add(1)
+
+	if err != nil {
+		jerr := classifyErr(err)
+		job.finishErr(jerr, time.Now())
+		if jerr.Kind == "cancelled" {
+			s.met.cancelled.Add(1)
+		} else {
+			s.met.failed.Add(1)
+		}
+		return
+	}
+	m, fp := graph.Fingerprint(res.Spanner)
+	s.met.highWater(res.ArenaBytes)
+	job.finishOK(&JobResult{
+		Edges:       m,
+		TotalRounds: res.TotalRounds,
+		Messages:    res.Messages,
+		Fingerprint: fp,
+		ArenaBytes:  res.ArenaBytes,
+		BuildMS:     dur.Milliseconds(),
+	}, time.Now())
+	s.met.done.Add(1)
+}
+
+func (s *Server) finishCancelled(job *Job, msg string) {
+	job.finishErr(&JobError{Kind: "cancelled", Message: msg, HTTPStatus: 409}, time.Now())
+	s.met.cancelled.Add(1)
+}
+
+// Drain shuts the server down without ever emitting a partial spanner:
+// it stops accepting submissions, cancels queued-but-unstarted jobs,
+// and waits for in-flight builds — until ctx expires, at which point
+// their contexts are cancelled and the builds abort at the next round
+// boundary (their jobs finish cancelled, resultless). Drain returns
+// when every worker has exited and, if the server owns its scheduler,
+// its workers are released too. It is idempotent; concurrent calls
+// share one drain.
+func (s *Server) Drain(ctx context.Context) {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+
+		// Flush jobs still in the queue: no build ever starts for them.
+		for {
+			select {
+			case job := <-s.queue:
+				s.finishCancelled(job, "cancelled: server draining before build started")
+				continue
+			default:
+			}
+			break
+		}
+
+		workersDone := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(workersDone)
+		}()
+		select {
+		case <-workersDone:
+		case <-ctx.Done():
+			// Grace expired: force in-flight builds to their next round
+			// boundary.
+			s.buildCancel()
+			<-workersDone
+		}
+		s.buildCancel()
+		if s.ownRT {
+			s.rt.Close()
+		}
+	})
+	// Late or concurrent callers still wait for the drain to finish.
+	s.wg.Wait()
+}
+
+// Run serves s on l until ctx is cancelled (typically by SIGTERM via
+// signal.NotifyContext), then drains with the configured grace and
+// shuts the HTTP listener down. It is the whole daemon lifecycle in one
+// call — cmd/spannerd is little more than flags + a listener + Run.
+func Run(ctx context.Context, s *Server, l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("service: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainGrace)
+	defer cancel()
+	s.Drain(drainCtx)
+
+	// Jobs are finished; event streams have ended with them. Give the
+	// HTTP layer a moment to flush, then hard-close.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	<-serveErr // always http.ErrServerClosed by now
+	return nil
+}

@@ -139,6 +139,13 @@ type Config struct {
 	// both modes (centralized steps report their schedule budgets with
 	// zero messages).
 	OnStep func(StepMetrics)
+	// RoundBudget, when positive, bounds the build's total simulated
+	// rounds: a construction that would exceed it aborts — at a round
+	// boundary, never yielding a partial spanner — with an error whose
+	// chain carries a *congest.ErrBudgetExhausted (the in-flight message
+	// histogram at the cut, in DistributedMode). This is the per-job
+	// round cap of the build service.
+	RoundBudget int
 }
 
 // BuildSpanner constructs a (1+ε', β)-spanner of g.
@@ -162,6 +169,7 @@ func BuildSpannerContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		Engine:       cfg.engine(),
 		KeepClusters: cfg.KeepClusters,
 		OnStep:       cfg.OnStep,
+		RoundBudget:  cfg.RoundBudget,
 	})
 }
 
