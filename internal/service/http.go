@@ -19,7 +19,8 @@ import (
 //	POST /v1/jobs             submit a job (JSON spec, or a raw edge
 //	                          list with parameters in the query string);
 //	                          202 with the job id, 429 queue full,
-//	                          503 draining, 400 bad spec. With ?wait=1
+//	                          503 draining, 400 bad spec, 413 oversized
+//	                          body. With ?wait=1
 //	                          the response blocks until the job is
 //	                          terminal and carries its full document
 //	                          (failed jobs answer with their structured
@@ -58,11 +59,15 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// maxBodyBytes bounds submission bodies; larger uploads are rejected
+// with 413 rather than silently truncated.
+const maxBodyBytes = 64 << 20
+
 // parseSubmission decodes a submission: a JSON JobSpec, or — for any
 // non-JSON content type — a raw edge-list body with the spanner
 // parameters in the query string (the curl-friendly upload path).
-func parseSubmission(r *http.Request) (JobSpec, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+func parseSubmission(w http.ResponseWriter, r *http.Request) (JobSpec, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		return JobSpec{}, fmt.Errorf("read body: %w", err)
 	}
@@ -131,8 +136,13 @@ func parseSubmission(r *http.Request) (JobSpec, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := parseSubmission(r)
+	spec, err := parseSubmission(w, r)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}

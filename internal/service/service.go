@@ -162,18 +162,26 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, &BadRequestError{Err: err}
 	}
 
+	// The draining re-check, the enqueue attempt, and registration share
+	// one critical section with Drain's flag-flip + queue flush: a job
+	// either lands in the queue before the flush starts (and the flush
+	// cancels it) or is rejected here — never enqueued after the flush,
+	// where no worker would ever pick it up. Registering only on a
+	// successful enqueue also means a rejected submission never leaves a
+	// dangling id in s.order.
 	s.mu.Lock()
-	s.jobs[id] = job
-	s.order = append(s.order, id)
-	s.mu.Unlock()
-
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return nil, ErrDraining
+	}
 	select {
 	case s.queue <- job:
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.mu.Unlock()
 		return job, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		s.met.rejected.Add(1)
 		return nil, ErrQueueFull
@@ -309,6 +317,11 @@ func (s *Server) finishCancelled(job *Job, msg string) {
 // share one drain.
 func (s *Server) Drain(ctx context.Context) {
 	s.drainOnce.Do(func() {
+		// The flag-flip and queue flush hold s.mu so they are atomic
+		// against Submit's draining-check + enqueue: every job Submit
+		// accepted is in the queue before this flush runs, so none can
+		// slip in afterwards and sit unserved forever.
+		s.mu.Lock()
 		s.draining.Store(true)
 		close(s.drainCh)
 
@@ -322,6 +335,7 @@ func (s *Server) Drain(ctx context.Context) {
 			}
 			break
 		}
+		s.mu.Unlock()
 
 		workersDone := make(chan struct{})
 		go func() {

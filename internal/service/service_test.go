@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -339,6 +340,140 @@ func TestServiceCancelQueuedJob(t *testing.T) {
 	if v.State != StateCancelled || v.Result != nil || len(v.Started) != 0 {
 		t.Errorf("cancelled queued job should never have started: %+v", v)
 	}
+}
+
+// tinyPath is the cheapest valid workload — for tests that hammer
+// Submit and never care about the build itself.
+func tinyPath(name string) JobSpec {
+	return JobSpec{
+		Name:  name,
+		Graph: GraphSpec{Type: "path", N: 16},
+		Eps:   0.5, Kappa: 3, Rho: 0.49,
+	}
+}
+
+// Concurrent submissions against a full queue must leave the registry
+// consistent: every id in the listing resolves to a job, and the
+// listing length matches the number of accepted submissions.
+// Regression: the queue-full rollback used to truncate the last element
+// of the order slice, which under concurrency could drop another
+// submission's id — or leave a dangling id whose nil job made every
+// subsequent GET /v1/jobs panic.
+func TestServiceConcurrentSubmitQueueFullRegistryConsistent(t *testing.T) {
+	proceed := make(chan struct{})
+	s := New(Options{Builds: 1, QueueDepth: 1, SchedWorkers: 2})
+	s.beforeBuild = func(*Job) { <-proceed }
+	defer func() {
+		close(proceed)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 16; k++ {
+				if _, err := s.Submit(tinyPath("stress")); err == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	jobs := s.Jobs()
+	if int64(len(jobs)) != accepted.Load() {
+		t.Errorf("listing has %d jobs, %d submissions were accepted", len(jobs), accepted.Load())
+	}
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("Jobs()[%d] is nil — dangling id left in the order slice", i)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("GET /v1/jobs after queue-full stress: %d", rec.Code)
+	}
+}
+
+// Submissions racing a drain must never strand a job: every accepted
+// job is terminal by the time Drain returns — run, or cancelled by the
+// queue flush — because the draining check + enqueue and the flag-flip
+// + flush are mutually exclusive. Regression: a submission could
+// previously slip into the queue after the flush and sit "queued"
+// forever with no worker left to serve it.
+func TestServiceSubmitDrainRaceNeverStrandsJob(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		s := New(Options{Builds: 1, QueueDepth: 4, SchedWorkers: 2})
+
+		var (
+			mu       sync.Mutex
+			accepted []*Job
+			wg       sync.WaitGroup
+		)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 6; k++ {
+					if j, err := s.Submit(tinyPath("race")); err == nil {
+						mu.Lock()
+						accepted = append(accepted, j)
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		s.Drain(ctx)
+		cancel()
+		wg.Wait()
+
+		for _, j := range accepted {
+			select {
+			case <-j.Done():
+			default:
+				t.Fatalf("iter %d: job %s stranded in state %q after drain", iter, j.ID, j.State())
+			}
+		}
+	}
+}
+
+// An oversized upload is rejected with an explicit 413, not silently
+// truncated into a confusing parse error.
+func TestServiceOversizedBodyRejected(t *testing.T) {
+	s := New(Options{SchedWorkers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	body := io.LimitReader(zeroReader{}, maxBodyBytes+1)
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs?eps=0.5&kappa=3&rho=0.49", body)
+	req.Header.Set("Content-Type", "text/plain")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413 (body: %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// zeroReader yields '0' bytes forever — an oversized body without the
+// client-side allocation.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = '0'
+	}
+	return len(p), nil
 }
 
 // Health flips from 200 to 503 at drain.
