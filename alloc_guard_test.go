@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"nearspan"
 	"nearspan/internal/core"
 	"nearspan/internal/edgeset"
 	"nearspan/internal/experiments"
@@ -79,5 +80,30 @@ func TestAllocBudgetCentralizedBuild(t *testing.T) {
 	const budget = 30_000
 	if avg > budget {
 		t.Errorf("centralized Build allocates %v per run (budget %d)", avg, budget)
+	}
+}
+
+// A warm point query on the oracle pool is allocation-free: cached
+// sources answer with an atomic load plus an array read, and cache
+// misses run the bidirectional BFS entirely in the replica's
+// preallocated stamped workspace. Budget 2 covers incidental runtime
+// noise; the pre-pool oracle sat far above it (map lookups, per-query
+// level slices).
+func TestAllocBudgetOracleWarmPointQuery(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	g := gen.GNP(600, 0.02, 9, true)
+	pool := nearspan.NewOraclePool(g, nearspan.OraclePoolOptions{Replicas: 1, CacheSources: 4})
+	pool.Sources(0)     // warm the cache slot for source 0
+	pool.Dist(100, 200) // warm the replica's bidi workspace
+
+	hit := testing.AllocsPerRun(200, func() { pool.Dist(0, 599) })
+	if hit > 0 {
+		t.Errorf("warm cached point query allocates %v per query (budget 0)", hit)
+	}
+	miss := testing.AllocsPerRun(200, func() { pool.Dist(100, 599) })
+	if miss > 2 {
+		t.Errorf("warm bidi point query allocates %v per query (budget 2)", miss)
 	}
 }

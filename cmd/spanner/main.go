@@ -8,6 +8,7 @@
 //	spanner -graph torus -n 576 -mode distributed -csv
 //	spanner -graph gnp -n 2000 -mode distributed -engine parallel
 //	spanner -graph communities -n 500 -verify=false
+//	spanner -graph grid -n 400 -query "0:399,0:210,5:86"
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"nearspan"
@@ -52,6 +55,7 @@ func run() error {
 		csv     = flag.Bool("csv", false, "emit phase table as CSV")
 		phases  = flag.Bool("phases", false, "print the per-phase protocol-step breakdown (rounds, messages, peak round traffic)")
 		timeout = flag.Duration("timeout", 0, "abort the build after this duration (0 = no limit); cancellation lands at a round boundary")
+		query   = flag.String("query", "", "comma-separated u:v pairs answered from the built spanner (batched through the query pool)")
 	)
 	flag.Parse()
 
@@ -151,7 +155,48 @@ func run() error {
 			return fmt.Errorf("stretch bound violated")
 		}
 	}
+
+	if *query != "" {
+		pairs, err := parseQueries(*query, g.N())
+		if err != nil {
+			return err
+		}
+		pool := nearspan.NewOraclePool(res.Spanner, nearspan.OraclePoolOptions{})
+		dists := pool.PairsBatch(pairs)
+		for i, q := range pairs {
+			if d := dists[i]; d == nearspan.Infinity {
+				fmt.Printf("query %d:%d -> unreachable\n", q[0], q[1])
+			} else {
+				fmt.Printf("query %d:%d -> %d\n", q[0], q[1], d)
+			}
+		}
+	}
 	return nil
+}
+
+// parseQueries parses "u:v,u:v" into pairs, validating against n.
+func parseQueries(s string, n int) ([][2]int, error) {
+	parts := strings.Split(s, ",")
+	pairs := make([][2]int, 0, len(parts))
+	for _, part := range parts {
+		uv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(uv) != 2 {
+			return nil, fmt.Errorf("query %q: want u:v", part)
+		}
+		u, err := strconv.Atoi(uv[0])
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %v", part, err)
+		}
+		v, err := strconv.Atoi(uv[1])
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %v", part, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("query %q: vertex out of range [0,%d)", part, n)
+		}
+		pairs = append(pairs, [2]int{u, v})
+	}
+	return pairs, nil
 }
 
 func makeGraph(family string, n int, p float64, seed uint64) (*nearspan.Graph, error) {

@@ -14,6 +14,9 @@
 //	}'
 //	curl -s localhost:8080/v1/jobs/j000001          # status + result
 //	curl -sN localhost:8080/v1/jobs/j000001/events  # NDJSON step stream
+//	curl -s 'localhost:8080/v1/jobs/j000001/query?u=0&v=9'   # one distance
+//	printf '{"u":0,"v":9}\n{"u":3,"v":7}\n' |
+//	  curl -s localhost:8080/v1/jobs/j000001/query --data-binary @-  # batch
 //	curl -s localhost:8080/metrics                  # Prometheus text
 package main
 
@@ -47,16 +50,20 @@ func run() error {
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job wall-clock limit (0 = none)")
 		maxTimeout   = flag.Duration("max-job-timeout", 0, "cap on requested per-job timeouts (0 = no cap)")
 		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "how long in-flight builds get on SIGTERM before cancellation at a round boundary")
+		queryReps    = flag.Int("query-replicas", 0, "query-tier BFS workspaces per finished job (0 = GOMAXPROCS)")
+		queryCache   = flag.Int("query-cache", 0, "cached sources per finished job, 4n bytes each (0 = default 64, negative = disabled)")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Options{
-		QueueDepth:     *queue,
-		Builds:         *builds,
-		SchedWorkers:   *schedWorkers,
-		DefaultTimeout: *jobTimeout,
-		MaxTimeout:     *maxTimeout,
-		DrainGrace:     *drainGrace,
+		QueueDepth:        *queue,
+		Builds:            *builds,
+		SchedWorkers:      *schedWorkers,
+		DefaultTimeout:    *jobTimeout,
+		MaxTimeout:        *maxTimeout,
+		DrainGrace:        *drainGrace,
+		QueryReplicas:     *queryReps,
+		QueryCacheSources: *queryCache,
 	})
 
 	l, err := net.Listen("tcp", *addr)

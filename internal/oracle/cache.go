@@ -1,0 +1,85 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sourceCache is the pool's shared source-level cache: one slot per
+// vertex, directly indexed, so the hot read path is a single atomic
+// pointer load — no hashing, no locks, no recency bookkeeping. Slots
+// are filled at most once (sync.Once per slot), admission is bounded by
+// a global capacity, and filled slots are never evicted: the spanner is
+// immutable, so cached levels can never go stale. Sources that miss the
+// capacity bound are simply computed in a replica workspace instead.
+type sourceCache struct {
+	slots    []cslot
+	admitted atomic.Int32
+	capacity int32
+	fills    atomic.Int64
+}
+
+type cslot struct {
+	once   sync.Once
+	levels atomic.Pointer[[]int32]
+}
+
+// newSourceCache returns a cache over n vertices admitting at most
+// capacity sources; capacity <= 0 disables caching entirely.
+func newSourceCache(n, capacity int) *sourceCache {
+	c := &sourceCache{capacity: int32(capacity)}
+	if capacity > 0 {
+		c.slots = make([]cslot, n)
+	}
+	return c
+}
+
+// get returns u's cached levels or nil. Lock-free: an atomic load plus
+// a nil check.
+func (c *sourceCache) get(u int) []int32 {
+	if c.slots == nil {
+		return nil
+	}
+	if p := c.slots[u].levels.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fill admits u if capacity remains, computing its levels exactly once
+// across concurrent callers (losers of the race block on the winner's
+// sync.Once rather than duplicating the BFS). Returns the cached
+// levels, or nil if u was not admitted — the caller then answers from
+// its own workspace.
+func (c *sourceCache) fill(u int, compute func(int) []int32) []int32 {
+	if c.slots == nil {
+		return nil
+	}
+	s := &c.slots[u]
+	if p := s.levels.Load(); p != nil {
+		return *p
+	}
+	if c.admitted.Load() >= c.capacity {
+		return nil
+	}
+	s.once.Do(func() {
+		// Re-check under the once: concurrent fills of distinct sources
+		// race for the last capacity slots.
+		if c.admitted.Add(1) > c.capacity {
+			c.admitted.Add(-1)
+			return
+		}
+		lv := compute(u)
+		c.fills.Add(1)
+		s.levels.Store(&lv)
+	})
+	if p := s.levels.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// cached returns the number of sources currently admitted.
+func (c *sourceCache) cached() int {
+	return int(c.admitted.Load())
+}

@@ -14,11 +14,17 @@
 //
 // For repeated queries from the same source the oracle caches BFS
 // levels; Sources/Pairs batch APIs expose that reuse.
+//
+// Oracle is the single-threaded convenience API. For the high-QPS
+// serving path — lock-free sharded reads, a shared source cache, batch
+// grouping, and a bidirectional-BFS point-query fast path — see Pool.
 package oracle
 
 import (
+	"cmp"
 	"context"
 	"fmt"
+	"slices"
 
 	"nearspan/internal/congest"
 	"nearspan/internal/core"
@@ -28,15 +34,24 @@ import (
 
 // Oracle answers approximate distance queries over a preprocessed graph.
 // Not safe for concurrent use (the level cache is shared); clone one
-// oracle per goroutine via Clone.
+// oracle per goroutine via Clone, or use Pool for concurrent serving.
 type Oracle struct {
 	g       *graph.Graph
 	spanner *graph.Graph
 	p       *params.Params
 
-	cache    map[int][]int32 // BFS levels in the spanner, by source
-	capacity int
-	order    []int // LRU order: least recently used first
+	cache      map[int]*lruEntry // BFS levels in the spanner, by source
+	capacity   int
+	head, tail *lruEntry // intrusive recency list: head = MRU, tail = LRU
+}
+
+// lruEntry is one cached source: its BFS levels plus intrusive recency
+// links, so a cache hit relinks in O(1) instead of scanning a recency
+// slice (the old order-slice made every hit linear in capacity).
+type lruEntry struct {
+	key        int
+	levels     []int32
+	prev, next *lruEntry
 }
 
 // Options configure the oracle.
@@ -74,7 +89,7 @@ func New(g *graph.Graph, opts Options) (*Oracle, error) {
 		g:        g,
 		spanner:  res.Spanner,
 		p:        p,
-		cache:    make(map[int][]int32, capacity),
+		cache:    make(map[int]*lruEntry, capacity),
 		capacity: capacity,
 	}, nil
 }
@@ -92,7 +107,7 @@ func FromSpanner(g *graph.Graph, res *core.Result, cacheSources int) (*Oracle, e
 		g:        g,
 		spanner:  res.Spanner,
 		p:        res.Params,
-		cache:    make(map[int][]int32, cacheSources),
+		cache:    make(map[int]*lruEntry, cacheSources),
 		capacity: cacheSources,
 	}, nil
 }
@@ -115,24 +130,34 @@ func (o *Oracle) Dist(u, v int) int32 {
 	return o.levels(u)[v]
 }
 
-// Sources returns the approximate distances from u to every vertex. The
-// returned slice is owned by the cache; callers must not modify it.
+// Sources returns the approximate distances from u to every vertex.
+// The returned slice is the caller's to keep: it is a copy, not the
+// cache's backing array, so mutating it cannot corrupt later answers.
 func (o *Oracle) Sources(u int) []int32 {
-	return o.levels(u)
+	return slices.Clone(o.levels(u))
 }
 
 // Pairs answers a batch of queries, reusing per-source BFS work. The
-// batch is grouped by source internally, so callers need not sort.
+// batch is grouped by source internally (a single index sort — no
+// per-source map or slice churn), so callers need not sort; the result
+// is allocated once up front.
 func (o *Oracle) Pairs(queries [][2]int) []int32 {
 	out := make([]int32, len(queries))
-	bySource := make(map[int][]int)
-	for i, q := range queries {
-		bySource[q[0]] = append(bySource[q[0]], i)
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
 	}
-	for src, idxs := range bySource {
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := cmp.Compare(queries[a][0], queries[b][0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	for i := 0; i < len(idx); {
+		src := queries[idx[i]][0]
 		lv := o.levels(src)
-		for _, i := range idxs {
-			out[i] = lv[queries[i][1]]
+		for ; i < len(idx) && queries[idx[i]][0] == src; i++ {
+			out[idx[i]] = lv[queries[idx[i]][1]]
 		}
 	}
 	return out
@@ -145,7 +170,7 @@ func (o *Oracle) Clone() *Oracle {
 		g:        o.g,
 		spanner:  o.spanner,
 		p:        o.p,
-		cache:    make(map[int][]int32, o.capacity),
+		cache:    make(map[int]*lruEntry, o.capacity),
 		capacity: o.capacity,
 	}
 }
@@ -156,31 +181,55 @@ func (o *Oracle) Clone() *Oracle {
 // cache is full. LRU (rather than FIFO) keeps hot sources resident under
 // the skewed query mixes the batch APIs see — repeated Pairs batches
 // over a working set larger than one batch would otherwise evict their
-// own sources between batches. Capacity is small (default 16), so the
-// slice-based recency list beats a linked structure.
+// own sources between batches. The returned slice is cache-owned;
+// exported callers copy (Sources) or read through it (Dist, Pairs).
 func (o *Oracle) levels(u int) []int32 {
-	if lv, ok := o.cache[u]; ok {
-		o.touch(u)
-		return lv
+	if e, ok := o.cache[u]; ok {
+		o.touch(e)
+		return e.levels
 	}
-	lv := o.spanner.BFS(u)
-	if len(o.order) >= o.capacity {
-		evict := o.order[0]
-		o.order = o.order[1:]
-		delete(o.cache, evict)
+	if len(o.cache) >= o.capacity && o.tail != nil {
+		evict := o.tail
+		o.unlink(evict)
+		delete(o.cache, evict.key)
 	}
-	o.cache[u] = lv
-	o.order = append(o.order, u)
-	return lv
+	e := &lruEntry{key: u, levels: o.spanner.BFS(u)}
+	o.cache[u] = e
+	o.pushFront(e)
+	return e.levels
 }
 
-// touch moves u to the most-recently-used end of the recency list.
-func (o *Oracle) touch(u int) {
-	for i, x := range o.order {
-		if x == u {
-			copy(o.order[i:], o.order[i+1:])
-			o.order[len(o.order)-1] = u
-			return
-		}
+// touch moves e to the most-recently-used end of the recency list in
+// O(1) via its intrusive links.
+func (o *Oracle) touch(e *lruEntry) {
+	if o.head == e {
+		return
+	}
+	o.unlink(e)
+	o.pushFront(e)
+}
+
+func (o *Oracle) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		o.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		o.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (o *Oracle) pushFront(e *lruEntry) {
+	e.next = o.head
+	if o.head != nil {
+		o.head.prev = e
+	}
+	o.head = e
+	if o.tail == nil {
+		o.tail = e
 	}
 }

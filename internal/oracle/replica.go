@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"sync"
+
+	"nearspan/internal/graph"
+)
+
+// stamped is a dense level array with generation stamps: reset is O(1)
+// (bump the generation), a slot whose stamp is stale reads as
+// graph.Infinity. This replaces per-query map[int]int32 visited sets —
+// after warmup a traversal touches only preallocated flat arrays.
+type stamped struct {
+	dist []int32
+	gen  []uint32
+	cur  uint32
+}
+
+func (s *stamped) init(n int) {
+	s.dist = make([]int32, n)
+	s.gen = make([]uint32, n)
+	s.cur = 0
+}
+
+// reset invalidates every slot in O(1). On the (rare) generation wrap
+// the stamp array is cleared so stale stamps can never alias the new
+// generation.
+func (s *stamped) reset() {
+	s.cur++
+	if s.cur == 0 {
+		clear(s.gen)
+		s.cur = 1
+	}
+}
+
+// get returns the level of v in the current generation, or
+// graph.Infinity if v was not reached.
+func (s *stamped) get(v int32) int32 {
+	if s.gen[v] != s.cur {
+		return graph.Infinity
+	}
+	return s.dist[v]
+}
+
+func (s *stamped) set(v, d int32) {
+	s.gen[v] = s.cur
+	s.dist[v] = d
+}
+
+// replica is one BFS workspace over the shared immutable spanner CSR.
+// The spanner itself is read lock-free by any number of replicas; the
+// mutable state (two stamped level arrays and two frontier queues, all
+// preallocated to n) belongs to exactly one query at a time, guarded by
+// mu. After the lazy first-use allocation a query performs zero heap
+// allocations.
+type replica struct {
+	mu sync.Mutex
+	g  *graph.Graph
+
+	fwd, bwd stamped // forward / backward level arrays
+	qf, qb   []int32 // frontier queues (head-indexed, capacity n)
+	ready    bool
+}
+
+// ensure performs the one-time workspace allocation. Deferred to first
+// use so pools attached to every completed build job cost nothing until
+// queried.
+func (r *replica) ensure() {
+	if r.ready {
+		return
+	}
+	n := r.g.N()
+	r.fwd.init(n)
+	r.bwd.init(n)
+	r.qf = make([]int32, 0, n)
+	r.qb = make([]int32, 0, n)
+	r.ready = true
+}
+
+// bfsFull runs a full single-source BFS from src into the fwd
+// workspace; answers are read back through fwd.get (Infinity for
+// unreached vertices).
+func (r *replica) bfsFull(src int) {
+	r.ensure()
+	r.fwd.reset()
+	q := r.qf[:0]
+	r.fwd.set(int32(src), 0)
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		dv := r.fwd.dist[v]
+		for _, w := range r.g.Neighbors(int(v)) {
+			if r.fwd.gen[w] != r.fwd.cur {
+				r.fwd.set(w, dv+1)
+				q = append(q, w)
+			}
+		}
+	}
+	r.qf = q[:0]
+}
+
+// materialize copies the fwd workspace of the last bfsFull into a fresh
+// dense level slice (Infinity for unreached vertices) — the cache-fill
+// and Sources copy-out path.
+func (r *replica) materialize() []int32 {
+	out := make([]int32, r.g.N())
+	for v := range out {
+		out[v] = r.fwd.get(int32(v))
+	}
+	return out
+}
+
+// bidi returns the exact spanner BFS distance between u and v via
+// bidirectional level-by-level expansion: the smaller frontier expands
+// one full level at a time, and a vertex receiving its second label
+// yields the candidate distA+distB. Once best <= depthA+depthB the
+// candidate is exact: any shorter path would have a midpoint already
+// labeled by both sides. Point queries explore O(sqrt) of what a full
+// BFS touches on expander-like spanners, and answers are bit-identical
+// to fwd-BFS levels (both are the exact distance in the spanner).
+func (r *replica) bidi(u, v int) int32 {
+	if u == v {
+		return 0
+	}
+	r.ensure()
+	r.fwd.reset()
+	r.bwd.reset()
+	qf, qb := r.qf[:0], r.qb[:0]
+	r.fwd.set(int32(u), 0)
+	qf = append(qf, int32(u))
+	r.bwd.set(int32(v), 0)
+	qb = append(qb, int32(v))
+	fStart, bStart := 0, 0 // current level = q[start:len]
+	df, db := int32(0), int32(0)
+	best := graph.Infinity
+	for fStart < len(qf) && bStart < len(qb) && best > df+db {
+		if len(qf)-fStart <= len(qb)-bStart {
+			end := len(qf)
+			for i := fStart; i < end; i++ {
+				for _, w := range r.g.Neighbors(int(qf[i])) {
+					if r.fwd.gen[w] != r.fwd.cur {
+						r.fwd.set(w, df+1)
+						qf = append(qf, w)
+						if r.bwd.gen[w] == r.bwd.cur {
+							if c := df + 1 + r.bwd.dist[w]; c < best {
+								best = c
+							}
+						}
+					}
+				}
+			}
+			fStart = end
+			df++
+		} else {
+			end := len(qb)
+			for i := bStart; i < end; i++ {
+				for _, w := range r.g.Neighbors(int(qb[i])) {
+					if r.bwd.gen[w] != r.bwd.cur {
+						r.bwd.set(w, db+1)
+						qb = append(qb, w)
+						if r.fwd.gen[w] == r.fwd.cur {
+							if c := db + 1 + r.fwd.dist[w]; c < best {
+								best = c
+							}
+						}
+					}
+				}
+			}
+			bStart = end
+			db++
+		}
+	}
+	r.qf, r.qb = qf[:0], qb[:0]
+	return best
+}

@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"nearspan/internal/graph"
 	"nearspan/internal/protocols"
 )
 
@@ -33,6 +35,12 @@ import (
 //	                          (or SSE with Accept: text/event-stream):
 //	                          full replay, then live until terminal,
 //	                          closing with a summary record.
+//	GET  /v1/jobs/{id}/query  answer one distance query (?u=&v=) from the
+//	                          job's spanner; 404 until the job is done,
+//	                          400 on bad or out-of-range vertices.
+//	POST /v1/jobs/{id}/query  batch queries: NDJSON lines {"u":..,"v":..}
+//	                          in, NDJSON answers out, grouped by source
+//	                          internally so hot sources share one BFS.
 //	GET  /healthz             200 ok, 503 once draining.
 //	GET  /metrics             Prometheus text exposition.
 func (s *Server) Handler() http.Handler {
@@ -42,6 +50,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/jobs/{id}/query", s.handleQueryBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -322,6 +332,118 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// queryAnswer is one distance answer. Dist is -1 when the endpoints are
+// disconnected in the spanner; alpha and beta restate the job's
+// (1+eps', beta) guarantee so a client can bound the true graph
+// distance from the spanner answer.
+type queryAnswer struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Dist  int32   `json:"dist"`
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  int32   `json:"beta,omitempty"`
+}
+
+// wireDist maps graph.Infinity to the JSON-friendly -1.
+func wireDist(d int32) int32 {
+	if d == graph.Infinity {
+		return -1
+	}
+	return d
+}
+
+// queryJob resolves {id} to a job with a ready query pool, writing the
+// error response itself when there isn't one. Jobs that are still
+// queued, building, failed, or cancelled answer 404 — the query tier
+// exists only once a spanner does.
+func (s *Server) queryJob(w http.ResponseWriter, r *http.Request) *Job {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return nil
+	}
+	if job.QueryPool() == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "job has no spanner to query (not finished)"})
+		return nil
+	}
+	return job
+}
+
+func parseVertex(s string, key string, n int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %v", key, err)
+	}
+	if v < 0 || v >= n {
+		return 0, fmt.Errorf("query %s: vertex %d out of range [0,%d)", key, v, n)
+	}
+	return v, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	job := s.queryJob(w, r)
+	if job == nil {
+		return
+	}
+	n := job.GraphN()
+	u, err := parseVertex(r.URL.Query().Get("u"), "u", n)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	v, err := parseVertex(r.URL.Query().Get("v"), "v", n)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	start := time.Now()
+	d := job.QueryPool().Dist(u, v)
+	s.met.observeQuery(1, false, time.Since(start))
+	alpha, beta := job.Guarantee()
+	writeJSON(w, http.StatusOK, queryAnswer{U: u, V: v, Dist: wireDist(d), Alpha: alpha, Beta: beta})
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	job := s.queryJob(w, r)
+	if job == nil {
+		return
+	}
+	n := job.GraphN()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var queries [][2]int
+	for line := 1; ; line++ {
+		var q struct {
+			U *int `json:"u"`
+			V *int `json:"v"`
+		}
+		if err := dec.Decode(&q); err == io.EOF {
+			break
+		} else if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("query %d: %v", line, err)})
+			return
+		}
+		if q.U == nil || q.V == nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("query %d: missing u or v", line)})
+			return
+		}
+		if *q.U < 0 || *q.U >= n || *q.V < 0 || *q.V >= n {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("query %d: vertex out of range [0,%d)", line, n)})
+			return
+		}
+		queries = append(queries, [2]int{*q.U, *q.V})
+	}
+	start := time.Now()
+	dists := job.QueryPool().PairsBatch(queries)
+	s.met.observeQuery(len(queries), true, time.Since(start))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i, q := range queries {
+		enc.Encode(queryAnswer{U: q[0], V: q[1], Dist: wireDist(dists[i])})
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -333,5 +455,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.met.render(s.QueueDepth(), s.Draining()))
+	io.WriteString(w, s.met.render(s.QueueDepth(), s.Draining(), s.queryPoolStats()))
 }

@@ -13,6 +13,7 @@ import (
 	"nearspan/internal/core"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
+	"nearspan/internal/oracle"
 	"nearspan/internal/params"
 	"nearspan/internal/protocols"
 )
@@ -207,6 +208,7 @@ type Job struct {
 	finished   time.Time
 	result     *JobResult
 	jobErr     *JobError
+	pool       *oracle.Pool // query tier over the built spanner; set with result
 	cancel     context.CancelFunc
 	done       chan struct{} // closed on terminal state
 	timeout    time.Duration // resolved wall-clock limit (0 = none)
@@ -310,14 +312,32 @@ func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) (alreadyCance
 	return false
 }
 
-func (j *Job) finishOK(res *JobResult, now time.Time) {
+func (j *Job) finishOK(res *JobResult, pool *oracle.Pool, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateDone
 	j.result = res
+	j.pool = pool
 	j.finished = now
 	close(j.done)
 }
+
+// QueryPool returns the job's distance-query pool, or nil while the job
+// has not finished with a spanner (queued, running, failed, cancelled).
+func (j *Job) QueryPool() *oracle.Pool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pool
+}
+
+// Guarantee returns the (alpha, beta) error bound every query answer
+// carries: d_G <= answer <= alpha*d_G + beta.
+func (j *Job) Guarantee() (alpha float64, beta int32) {
+	return 1 + j.p.EpsPrime(), j.p.BetaInt()
+}
+
+// GraphN returns the job graph's vertex count (query bounds).
+func (j *Job) GraphN() int { return j.g.N() }
 
 func (j *Job) finishErr(jerr *JobError, now time.Time) {
 	j.mu.Lock()

@@ -2,8 +2,13 @@ package service
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"nearspan/internal/oracle"
 )
 
 // metrics is the server's operational counter set, exported in the
@@ -24,6 +29,60 @@ type metrics struct {
 	buildNanos atomic.Int64 // cumulative wall-clock build time
 
 	arenaHighWater atomic.Int64 // largest per-build arena footprint seen
+
+	queries      atomic.Int64 // distance queries answered (single + batched)
+	queryBatches atomic.Int64 // batch query requests served
+	queryLat     latencyHist  // per-request query latency (p50/p99)
+}
+
+// latencyHist is a log2-bucketed latency histogram: bucket i counts
+// observations whose nanosecond duration has bit length i, so observe
+// is two atomic adds and quantiles resolve to within a factor of two —
+// the right fidelity for an operational p50/p99 at query rates where a
+// lock-free histogram must cost nanoseconds, not a mutex.
+type latencyHist struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [40]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := uint64(max(d.Nanoseconds(), 0))
+	b := min(bits.Len64(ns), len(h.buckets)-1)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(ns))
+}
+
+// quantileSeconds returns the q-quantile (0 < q <= 1) in seconds as the
+// upper bound of the bucket holding the q-th observation, or NaN with
+// no observations.
+func (h *latencyHist) quantileSeconds(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return float64(uint64(1)<<uint(i)) / 1e9
+		}
+	}
+	return float64(uint64(1)<<uint(len(h.buckets)-1)) / 1e9
+}
+
+// observeQuery records one query request: n answered queries in d.
+func (m *metrics) observeQuery(n int, batch bool, d time.Duration) {
+	m.queries.Add(int64(n))
+	if batch {
+		m.queryBatches.Add(1)
+	}
+	m.queryLat.observe(d)
 }
 
 // highWater raises the arena high-water mark to b if larger.
@@ -36,9 +95,10 @@ func (m *metrics) highWater(b int64) {
 	}
 }
 
-// render writes the exposition text. queueDepth and draining are
-// point-in-time server state supplied by the caller.
-func (m *metrics) render(queueDepth int, draining bool) string {
+// render writes the exposition text. queueDepth, draining, and the
+// aggregated query-pool counters are point-in-time server state
+// supplied by the caller.
+func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats) string {
 	var sb strings.Builder
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
@@ -69,5 +129,24 @@ func (m *metrics) render(queueDepth int, draining bool) string {
 	fmt.Fprintf(&sb, "# HELP spannerd_build_seconds Cumulative build wall-clock time and count.\n# TYPE spannerd_build_seconds summary\n")
 	fmt.Fprintf(&sb, "spannerd_build_seconds_sum %g\n", float64(m.buildNanos.Load())/1e9)
 	fmt.Fprintf(&sb, "spannerd_build_seconds_count %d\n", m.builds.Load())
+
+	// Query tier: rate(spannerd_queries_total) is the served qps; the
+	// source-cache hit rate is 1 - misses/queries.
+	counter("spannerd_queries_total", "Distance queries answered (single and batched).", m.queries.Load())
+	counter("spannerd_query_batches_total", "Batch query requests served.", m.queryBatches.Load())
+	counter("spannerd_query_cache_misses_total",
+		"Point queries that missed the source cache and ran a bidirectional BFS.", qp.Misses)
+	counter("spannerd_query_source_bfs_total",
+		"Full single-source BFS runs in query workspaces (cache fills, Sources, batch groups).", qp.SourceRuns)
+	counter("spannerd_query_cache_fills_total", "Source-cache fills across all job pools.", qp.CacheFills)
+	gauge("spannerd_query_cached_sources", "Sources resident in job query caches.", int64(qp.CachedSources))
+	fmt.Fprintf(&sb, "# HELP spannerd_query_seconds Query request latency (log2-bucketed quantiles).\n# TYPE spannerd_query_seconds summary\n")
+	for _, q := range []float64{0.5, 0.99} {
+		if v := m.queryLat.quantileSeconds(q); !math.IsNaN(v) {
+			fmt.Fprintf(&sb, "spannerd_query_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q), v)
+		}
+	}
+	fmt.Fprintf(&sb, "spannerd_query_seconds_sum %g\n", float64(m.queryLat.sumNs.Load())/1e9)
+	fmt.Fprintf(&sb, "spannerd_query_seconds_count %d\n", m.queryLat.count.Load())
 	return sb.String()
 }

@@ -35,6 +35,7 @@ import (
 
 	"nearspan/internal/core"
 	"nearspan/internal/graph"
+	"nearspan/internal/oracle"
 	"nearspan/internal/protocols"
 	"nearspan/internal/sched"
 )
@@ -65,6 +66,13 @@ type Options struct {
 	// cancelling them (<= 0 means 10s). Cancellation lands at a round
 	// boundary, so the post-grace tail is one round, not one build.
 	DrainGrace time.Duration
+	// QueryReplicas sets the per-job query pool's replica count
+	// (<= 0 means GOMAXPROCS). Replica workspaces allocate lazily on
+	// first query, so idle done jobs cost only the spanner itself.
+	QueryReplicas int
+	// QueryCacheSources bounds each job's shared source-level cache
+	// (0 means the oracle default of 64; negative disables caching).
+	QueryCacheSources int
 }
 
 func (o Options) withDefaults() Options {
@@ -291,6 +299,11 @@ func (s *Server) runJob(job *Job) {
 	}
 	m, fp := graph.Fingerprint(res.Spanner)
 	s.met.highWater(res.ArenaBytes)
+	// The spanner is immutable from here on: hand it to the query tier.
+	pool := oracle.NewPool(res.Spanner, oracle.PoolOptions{
+		Replicas:     s.opts.QueryReplicas,
+		CacheSources: s.opts.QueryCacheSources,
+	})
 	job.finishOK(&JobResult{
 		Edges:       m,
 		TotalRounds: res.TotalRounds,
@@ -298,8 +311,24 @@ func (s *Server) runJob(job *Job) {
 		Fingerprint: fp,
 		ArenaBytes:  res.ArenaBytes,
 		BuildMS:     dur.Milliseconds(),
-	}, time.Now())
+	}, pool, time.Now())
 	s.met.done.Add(1)
+}
+
+// queryPoolStats aggregates the per-job query-pool counters for
+// /metrics.
+func (s *Server) queryPoolStats() (agg oracle.PoolStats) {
+	for _, job := range s.Jobs() {
+		if pool := job.QueryPool(); pool != nil {
+			st := pool.Stats()
+			agg.Misses += st.Misses
+			agg.SourceRuns += st.SourceRuns
+			agg.Batches += st.Batches
+			agg.CacheFills += st.CacheFills
+			agg.CachedSources += st.CachedSources
+		}
+	}
+	return agg
 }
 
 func (s *Server) finishCancelled(job *Job, msg string) {

@@ -284,6 +284,29 @@ func OracleFromResult(g *Graph, res *Result, cacheSources int) (*DistanceOracle,
 	return oracle.FromSpanner(g, res, cacheSources)
 }
 
+// Infinity is the distance returned for disconnected vertex pairs.
+const Infinity = graph.Infinity
+
+// OraclePool is the concurrent high-QPS query tier over an immutable
+// spanner: N lock-free read replicas with preallocated BFS workspaces,
+// a shared once-filled source cache, a bidirectional fast path for
+// point queries, and a batch API that groups queries by source. All
+// methods are safe for concurrent use and answers are exact spanner
+// distances, bit-identical across replica counts and query paths.
+type OraclePool = oracle.Pool
+
+// OraclePoolOptions configure NewOraclePool.
+type OraclePoolOptions = oracle.PoolOptions
+
+// OraclePoolStats is a snapshot of a pool's counters.
+type OraclePoolStats = oracle.PoolStats
+
+// NewOraclePool builds a query pool over a spanner (for example
+// Result.Spanner). The spanner must not be mutated afterwards.
+func NewOraclePool(spanner *Graph, opts OraclePoolOptions) *OraclePool {
+	return oracle.NewPool(spanner, opts)
+}
+
 // Graph generators (deterministic given their seeds).
 
 // Path returns the n-vertex path graph.
