@@ -83,6 +83,33 @@ func TestAllocBudgetCentralizedBuild(t *testing.T) {
 	}
 }
 
+// Streaming generation emits a million-edge GNP in O(1) allocations per
+// vertex: the degree pass and fill pass replay the RNG without buffering
+// edges, and the CSR is cut in a single allocation per column. A
+// regression to per-edge buffering (the Builder path's run directory)
+// sits two orders of magnitude above this budget.
+func TestAllocBudgetStreamGNP(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	if testing.Short() {
+		t.Skip("million-edge generation is not a -short workload")
+	}
+	const n = 8192
+	p := 2 * 1_000_000 / (float64(n) * float64(n-1))
+	avg := testing.AllocsPerRun(3, func() {
+		g := nearspan.StreamGNP(n, p, 7, true).Graph()
+		if g.M() < 900_000 {
+			t.Fatalf("stream produced %d edges, want ~1e6", g.M())
+		}
+	})
+	perVertex := avg / n
+	if perVertex > 1 {
+		t.Errorf("StreamGNP+Graph allocates %.4f allocs/vertex (budget 1) — %v total for n=%d",
+			perVertex, avg, n)
+	}
+}
+
 // A warm point query on the oracle pool is allocation-free: cached
 // sources answer with an atomic load plus an array read, and cache
 // misses run the bidirectional BFS entirely in the replica's

@@ -66,6 +66,10 @@ func main() {
 		"GOMAXPROCS for the -bench-json run; the value actually used is recorded as go_maxprocs in the report")
 	benchGate := flag.String("bench-gate", "",
 		"with -bench-json: compare the fresh report against this baseline and exit nonzero on a >25% ns/op regression in any gated benchmark family")
+	scale := flag.Int("scale", 0,
+		"instead of the suite, run one scale-regime workload near this many edges (streamed GNP through the full distributed build with a lazy arena) and print its memory/time report; try 1000000 locally, 10000000 for the full smoke")
+	scaleVerify := flag.Int("scale-verify", 0,
+		"with -scale: run a sampled stretch verification from this many BFS sources after the build")
 	flag.Parse()
 	eng, err := congest.ParseEngine(*engine)
 	if err != nil {
@@ -102,6 +106,22 @@ func main() {
 		}
 		return
 	}
+	if *scale > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := experiments.ScaleRun(ctx, experiments.ScaleSpec{
+			TargetEdges:   *scale,
+			Engine:        eng,
+			VerifySamples: *scaleVerify,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.WriteScaleReport(os.Stdout, res)
+		return
+	}
+
 	cfgs := experiments.DefaultConfigs()
 	if *quick {
 		cfgs = experiments.QuickConfigs()

@@ -28,11 +28,15 @@ func splitmix(x uint64) uint64 {
 }
 
 // fzSend is one decided send; port may be invalid or duplicated in
-// violent mode.
+// violent mode. A broadcast send ignores port and goes out on every
+// incident edge — on the Simulator side via Env.Broadcast, so the sweep
+// exercises the compact broadcast store, its materialization when a
+// unicast follows, and the per-port fallback when one precedes.
 type fzSend struct {
-	port int
-	kind uint8
-	word int64
+	port      int
+	kind      uint8
+	word      int64
+	broadcast bool
 }
 
 // fzDecision is what a vertex does in one round.
@@ -45,6 +49,7 @@ type fzDecision struct {
 type fzConfig struct {
 	seed    uint64
 	violent bool // emit invalid-port / over-bandwidth sends
+	mixed   bool // mix unicasts before/after broadcasts (legal only at bandwidth >= 2)
 	horizon int  // if > 0: no sends and forced halt from this round on (guarantees quiescence)
 }
 
@@ -63,10 +68,23 @@ func fzBehavior(cfg fzConfig, v, round int, recvHash uint64, deg int) fzDecision
 	if send {
 		mask := splitmix(r)
 		w := splitmix(mask)
-		for p := 0; p < deg && p < 32; p++ {
-			if mask>>(2*p)&3 == 0 { // ~1/4 of ports
-				w = splitmix(w)
-				d.sends = append(d.sends, fzSend{port: p, kind: 1 + uint8(w%3), word: int64(w % 1024)})
+		if mask%5 == 0 { // ~1/5 of sending rounds broadcast instead of unicasting
+			w = splitmix(w)
+			if cfg.mixed && deg > 0 && (mask>>3)&3 == 0 {
+				// A unicast first forces Broadcast down the per-port path.
+				d.sends = append(d.sends, fzSend{port: int(mask>>7) % deg, kind: 3, word: int64(w % 512)})
+			}
+			d.sends = append(d.sends, fzSend{broadcast: true, kind: 1 + uint8(w%3), word: int64(w % 1024)})
+			if cfg.mixed && deg > 0 && (mask>>5)&3 == 0 {
+				// A unicast after materializes the compact broadcast.
+				d.sends = append(d.sends, fzSend{port: int(mask>>9) % deg, kind: 2, word: int64(w % 256)})
+			}
+		} else {
+			for p := 0; p < deg && p < 32; p++ {
+				if mask>>(2*p)&3 == 0 { // ~1/4 of ports
+					w = splitmix(w)
+					d.sends = append(d.sends, fzSend{port: p, kind: 1 + uint8(w%3), word: int64(w % 1024)})
+				}
 			}
 		}
 	}
@@ -112,7 +130,12 @@ func (p *fzProg) Round(env *Env, recv []Inbound) {
 
 func (p *fzProg) apply(env *Env, d fzDecision) {
 	for _, snd := range d.sends {
-		_ = env.Send(snd.port, Message{Kind: snd.kind, Words: [MessageWords]int64{snd.word}})
+		m := Message{Kind: snd.kind, Words: [MessageWords]int64{snd.word}}
+		if snd.broadcast {
+			_ = env.Broadcast(m)
+		} else {
+			_ = env.Send(snd.port, m)
+		}
 	}
 	if d.halt {
 		env.Halt()
@@ -178,6 +201,23 @@ func (r *denseRef) apply(v int, d fzDecision) {
 		r.sentOnPort = append(r.sentOnPort, 0)
 	}
 	for _, snd := range d.sends {
+		if snd.broadcast {
+			// Broadcast is per-port expansion that stops at the first
+			// violating port, exactly as Env.Broadcast does.
+			for p := 0; p < deg; p++ {
+				if r.sentOnPort[p] >= r.bw {
+					r.noteViolation(v, true, p)
+					break
+				}
+				r.sentOnPort[p]++
+				w := r.g.Neighbor(v, p)
+				q := r.g.PortOf(w, v)
+				r.next[w][q] = append(r.next[w][q],
+					Message{Kind: snd.kind, Words: [MessageWords]int64{snd.word}})
+				r.messages++
+			}
+			continue
+		}
 		if snd.port < 0 || snd.port >= deg {
 			r.noteViolation(v, false, snd.port)
 			continue
@@ -460,10 +500,11 @@ func TestFrontierDeliveryAndBandwidthVariants(t *testing.T) {
 		"descending":   {Delivery: DeliverPortDescending},
 		"bandwidth2":   {Bandwidth: 2},
 		"desc-bw2-par": {Delivery: DeliverPortDescending, Bandwidth: 2, Engine: EngineParallel},
+		"mixed-bw1":    {}, // broadcast+unicast mixes violate at bandwidth 1
 	}
 	for vname, opts := range variants {
 		for seed := uint64(1); seed <= 4; seed++ {
-			cfg := fzConfig{seed: seed, violent: vname == "bandwidth2"}
+			cfg := fzConfig{seed: seed, violent: vname == "bandwidth2", mixed: vname != "descending"}
 			compareRun(t, g, cfg, opts, fmt.Sprintf("%s/seed%d", vname, seed), false, 12)
 		}
 	}

@@ -11,8 +11,9 @@ import (
 // operations, not O(n); workers of halted, mail-less vertices stay
 // parked. Workers process their vertex's inbound messages and report
 // back. Memory safety without locks follows from disjoint write sets:
-// worker v writes only v's outbound slots, dirty sublist, halted flag,
-// and program state, and reads the (frozen) cur buffer and inbox.
+// worker v writes only v's outbound slots, send log (glogs[v]), halted
+// flag, and program state, and reads the (frozen) cur buffer and inbox;
+// the coordinator merges the logs in frontier order after the barrier.
 type workerPool struct {
 	start     []chan struct{}
 	barrier   sync.WaitGroup // round completion
@@ -41,6 +42,7 @@ func (s *Simulator) startWorkers() {
 	for v := 0; v < s.g.N(); v++ {
 		wp.start[v] = make(chan struct{})
 	}
+	s.glogs = make([]sendLog, s.g.N())
 	wp.lifetime.Add(s.g.N())
 	for v := 0; v < s.g.N(); v++ {
 		go s.worker(wp, v)
@@ -51,6 +53,7 @@ func (s *Simulator) startWorkers() {
 func (s *Simulator) worker(wp *workerPool, v int) {
 	defer wp.lifetime.Done()
 	scratch := make([]Inbound, 0, 16)
+	env := Env{sim: s, out: &s.glogs[v], id: v, base: int(s.g.Offset(v))}
 	for range wp.start[v] {
 		func() {
 			defer func() {
@@ -62,7 +65,8 @@ func (s *Simulator) worker(wp *workerPool, v int) {
 			// Being released means this vertex is in the frontier: the
 			// coordinator already handled waking, so the worker just runs.
 			recv := s.gatherInbound(v, scratch)
-			s.progs[v].Round(&s.envs[v], recv)
+			env.sentUni = false
+			s.progs[v].Round(&env, recv)
 			scratch = recv[:0]
 		}()
 	}
@@ -84,6 +88,9 @@ func (s *Simulator) stepGoroutine() {
 	if p != nil {
 		s.Close()
 		panic(p) // re-raise program panics on the coordinating goroutine
+	}
+	for _, v := range s.frontier {
+		s.collectLog(&s.glogs[v])
 	}
 }
 

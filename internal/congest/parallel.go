@@ -16,6 +16,20 @@ const (
 	shardsPerWorker = 4
 )
 
+// shardState is one shard's private mutable state for a round: its send
+// log, its gather scratch buffer, and its reusable vertex handle. Each
+// shardState is a separate heap allocation padded past a cache line, so
+// two workers appending to adjacent shards' logs or rewriting adjacent
+// shards' Envs never contend on a line — the shard-affine layout that
+// keeps large dense rounds from false-sharing. (Before this layout the
+// per-vertex Env array interleaved every shard's dirty-list headers.)
+type shardState struct {
+	log     sendLog
+	scratch []Inbound
+	env     Env
+	_       [64]byte
+}
+
 // parallelShards is EngineParallel's per-simulator state. Execution
 // happens on the shared runtime (Options.Runtime): each round the
 // coordinator submits one batch of shards via sched.Runtime.Do, and
@@ -33,19 +47,23 @@ const (
 // message's position in the next-round buffer is a pure function of its
 // sender vertex and port (the CSR slot layout), so each shard writes a
 // disjoint, pre-reserved region of the outbound buffer, and each
-// vertex's dirty sublist is appended only by the worker running that
-// vertex. The coordinator merges the per-vertex sublists in ascending
-// frontier order at the round barrier, so the merged dirty list is
-// bit-identical to a sequential round no matter which workers ran which
-// shards. The remaining order-sensitive observables are canonicalized to
-// the lowest (round, vertex): the reported violation error matches
-// EngineSequential's exactly, and the re-raised panic names the vertex
-// the sequential engine would have hit first (wrapped in a formatted
-// value — the sequential engine propagates the program's raw panic value
-// and stops mid-round, which a shared pool cannot reproduce).
+// shard's send log is appended only by the worker running that shard.
+// The coordinator merges the shard logs in ascending shard order at the
+// round barrier — shards cover ascending frontier ranges and run their
+// vertices in order, so the merged lists equal a sequential round's no
+// matter which workers ran which shards. (Arena pages allocated on
+// first touch use compare-and-swap: which worker allocates a shared
+// page is racy, but the touched-page set is deterministic, so the
+// resulting arena is too.) The remaining order-sensitive observables
+// are canonicalized to the lowest (round, vertex): the reported
+// violation error matches EngineSequential's exactly, and the re-raised
+// panic names the vertex the sequential engine would have hit first
+// (wrapped in a formatted value — the sequential engine propagates the
+// program's raw panic value and stops mid-round, which a shared pool
+// cannot reproduce).
 type parallelShards struct {
-	workers int         // resolved shard fan-out bound, fixed per simulator
-	scratch [][]Inbound // per-shard gather buffers, grown on demand
+	workers int           // resolved shard fan-out bound, fixed per simulator
+	shards  []*shardState // per-shard state, grown on demand
 
 	panicMu     sync.Mutex
 	panicVertex int
@@ -77,20 +95,26 @@ func (s *Simulator) initShards() {
 // aborts its shard (the coordinator re-raises the lowest panicking
 // vertex after the round barrier, so nothing downstream observes the
 // partial state).
-func (s *Simulator) runShard(ps *parallelShards, lo, hi int, scratch []Inbound) []Inbound {
+func (s *Simulator) runShard(ps *parallelShards, lo, hi int, st *shardState) {
 	v := int(s.frontier[lo])
 	defer func() {
 		if r := recover(); r != nil {
 			ps.recordPanic(v, r)
 		}
 	}()
+	env := &st.env
+	*env = Env{sim: s, out: &st.log}
+	scratch := st.scratch
 	for j := lo; j < hi; j++ {
 		v = int(s.frontier[j])
 		recv := s.gatherInbound(v, scratch)
-		s.progs[v].Round(&s.envs[v], recv)
+		env.id = v
+		env.base = int(s.g.Offset(v))
+		env.sentUni = false
+		s.progs[v].Round(env, recv)
 		scratch = recv[:0]
 	}
-	return scratch
+	st.scratch = scratch
 }
 
 func (s *Simulator) stepParallel() {
@@ -111,13 +135,13 @@ func (s *Simulator) stepParallel() {
 		size = minShardVertices
 	}
 	shards := (n + size - 1) / size
-	for len(ps.scratch) < shards {
-		ps.scratch = append(ps.scratch, nil)
+	for len(ps.shards) < shards {
+		ps.shards = append(ps.shards, &shardState{})
 	}
 	s.opts.Runtime.Do(shards, func(i int) {
 		lo := i * size
 		hi := min(lo+size, n)
-		ps.scratch[i] = s.runShard(ps, lo, hi, ps.scratch[i])
+		s.runShard(ps, lo, hi, ps.shards[i])
 	})
 	ps.panicMu.Lock()
 	p := ps.panicked
@@ -125,5 +149,10 @@ func (s *Simulator) stepParallel() {
 	if p != nil {
 		s.Close()
 		panic(p) // re-raise program panics on the coordinating goroutine
+	}
+	// Merge in shard order = ascending frontier order: bit-identical to
+	// the sequential engine's per-vertex merge.
+	for i := 0; i < shards; i++ {
+		s.collectLog(&ps.shards[i].log)
 	}
 }

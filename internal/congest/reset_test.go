@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -146,7 +147,7 @@ func TestResetRewindsDirtyLists(t *testing.T) {
 		if err := sim.Run(3); err != nil {
 			t.Fatal(err)
 		}
-		if len(sim.curDirty) == 0 {
+		if len(sim.curDirty) == 0 && len(sim.curBcastL) == 0 {
 			t.Fatalf("%s: workload left no messages in flight — weak test setup", opts.Engine)
 		}
 		sim.ResetUniform(newProg)
@@ -158,11 +159,26 @@ func TestResetRewindsDirtyLists(t *testing.T) {
 			t.Errorf("%s: Reset left scheduling state: active %d frontier %d mail %d woken %d",
 				opts.Engine, len(sim.active), len(sim.frontier), len(sim.mail), len(sim.woken))
 		}
-		for v := range sim.envs {
-			if len(sim.envs[v].dirty) != 0 {
-				t.Errorf("%s: Reset left vertex %d outbound sublist (%d slots)",
-					opts.Engine, v, len(sim.envs[v].dirty))
+		if len(sim.curBcastL) != 0 || len(sim.nxBcastL) != 0 {
+			t.Errorf("%s: Reset left broadcaster lists: cur %d, next %d",
+				opts.Engine, len(sim.curBcastL), len(sim.nxBcastL))
+		}
+		logs := map[string]*sendLog{"seq": &sim.seqLog}
+		for i := range sim.glogs {
+			logs[fmt.Sprintf("goroutine-%d", i)] = &sim.glogs[i]
+		}
+		if sim.par != nil {
+			for i, st := range sim.par.shards {
+				logs[fmt.Sprintf("shard-%d", i)] = &st.log
 			}
+		}
+		for name, l := range logs {
+			if len(l.dirty) != 0 || len(l.bcast) != 0 {
+				t.Errorf("%s: Reset left %s send log (%d dirty, %d bcast)",
+					opts.Engine, name, len(l.dirty), len(l.bcast))
+			}
+		}
+		for v := range sim.inbox {
 			if len(sim.inbox[v]) != 0 {
 				t.Errorf("%s: Reset left vertex %d inbox (%d ports)", opts.Engine, v, len(sim.inbox[v]))
 			}

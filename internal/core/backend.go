@@ -39,6 +39,8 @@ func (d *distributedBackend) steps() []protocols.StepMetrics { return d.net.Step
 
 func (d *distributedBackend) arenaBytes() int64 { return d.net.Sim().ArenaBytes() }
 
+func (d *distributedBackend) arenaWorstCase() int64 { return d.net.Sim().ArenaBytesWorstCase() }
+
 func (d *distributedBackend) messages() int64 {
 	var total int64
 	for _, s := range d.net.Steps() {
@@ -139,6 +141,8 @@ func (c *centralBackend) beginPhase(i int) { c.phase = i }
 func (c *centralBackend) steps() []protocols.StepMetrics { return c.rec }
 
 func (c *centralBackend) arenaBytes() int64 { return 0 }
+
+func (c *centralBackend) arenaWorstCase() int64 { return 0 }
 
 func (c *centralBackend) record(step string, rounds int) error {
 	sm := protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds}

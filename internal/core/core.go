@@ -97,6 +97,13 @@ type Options struct {
 	// rounds and surface the live pending-message histogram at the cut;
 	// centralized builds count the recorded schedule budgets.
 	RoundBudget int
+	// ArenaFraction controls how much of the simulator's worst-case
+	// message arena is preallocated in ModeDistributed (see
+	// congest.Options.ArenaFraction): 0 means the small default reserve,
+	// negative means fully lazy, and values >= 1 restore the legacy full
+	// preallocation. Purely a memory/latency trade — the build result is
+	// bit-identical for every setting.
+	ArenaFraction float64
 }
 
 // PhaseStats records one phase's measurements, aligned with the paper's
@@ -138,10 +145,20 @@ type Result struct {
 	Steps []protocols.StepMetrics
 
 	// ArenaBytes is the retained size of the simulator's message arenas
-	// and slot tables in ModeDistributed (a pure function of topology
-	// and bandwidth; zero in ModeCentralized) — the build's arena
-	// footprint, tracked as a high-water mark by the service layer.
+	// and slot tables in ModeDistributed (zero in ModeCentralized) —
+	// the build's arena footprint, tracked as a high-water mark by the
+	// service layer. Message pages are allocated lazily as traffic
+	// touches them, so this is a measured quantity: it reflects the
+	// slots the protocols actually used, not the worst-case topology
+	// bound. It is still deterministic — the same build reports the
+	// same ArenaBytes regardless of engine or Options.ArenaFraction.
 	ArenaBytes int64
+
+	// ArenaBytesWorstCase is what ArenaBytes would have been under the
+	// legacy full worst-case preallocation (every message page of both
+	// arenas allocated; what ArenaFraction >= 1 reproduces). The
+	// measured/worst-case ratio is the scale regime's memory headroom.
+	ArenaBytesWorstCase int64
 
 	// TotalRounds is the measured CONGEST round count in
 	// ModeDistributed. In ModeCentralized it counts only the
@@ -178,6 +195,7 @@ type backend interface {
 	messages() int64
 	steps() []protocols.StepMetrics
 	arenaBytes() int64
+	arenaWorstCase() int64
 }
 
 // Build constructs the spanner for g under p. Cancelling the context
@@ -200,7 +218,8 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 		// phase's protocol steps attach to it as sessions, and every
 		// round executes on the shared runtime.
 		db, err := newDistributedBackend(g, p.NEstimate,
-			congest.Options{Engine: opts.Engine, Delivery: opts.Delivery, Runtime: opts.Runtime})
+			congest.Options{Engine: opts.Engine, Delivery: opts.Delivery, Runtime: opts.Runtime,
+				ArenaFraction: opts.ArenaFraction})
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +300,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	res.Messages = bk.messages()
 	res.Steps = bk.steps()
 	res.ArenaBytes = bk.arenaBytes()
+	res.ArenaBytesWorstCase = bk.arenaWorstCase()
 	return res, nil
 }
 

@@ -277,6 +277,44 @@ func BenchJSON(w io.Writer) error {
 		runtime.GOMAXPROCS(prev)
 	}
 
+	// --- Scale regime: streaming generation and a lazy-arena build ---
+	// The generator pair measures the streaming CSR path against the
+	// materializing Builder path on the same 500k-edge GNP draw (both
+	// yield the bit-identical graph; the streaming row is the one the
+	// 10⁷-edge workloads use). The build row is the -scale 500k workload:
+	// the full distributed construction on the parallel engine with a
+	// fully lazy arena.
+	const sn = 8192
+	sprob := 2 * 500_000 / (float64(sn) * float64(sn-1))
+	record("scale/gen/gnp-500k/builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = int32(gen.GNP(sn, sprob, 29, true).M())
+		}
+	})
+	record("scale/gen/gnp-500k/stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = int32(gen.StreamGNP(sn, sprob, 29, true).Graph().M())
+		}
+	})
+	sg := gen.StreamGNP(4096, 2*500_000/(4096.0*4095.0), 1, true).Graph()
+	sp2, err := params.New(1.0/3, 3, 0.49, sg.N())
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	record("scale/build/parallel/gnp-4k-500k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(context.Background(), sg, sp2, core.Options{
+				Mode: core.ModeDistributed, Engine: congest.EngineParallel,
+				ArenaFraction: -1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -366,7 +404,7 @@ func FrontierRulingWorkload() (isMember func(v int) bool, q int32, c int) {
 // cannot normalize for). The mean-based oracle rows are gated like
 // every other family.
 var GatedPrefixes = []string{
-	"assembly/", "engine/", "frontier/",
+	"assembly/", "engine/", "frontier/", "scale/",
 	"oracle/warm-source/", "oracle/batch/", "oracle/point/bidi-",
 }
 

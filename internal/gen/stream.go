@@ -1,0 +1,192 @@
+package gen
+
+import (
+	"iter"
+
+	"nearspan/internal/graph"
+	"nearspan/internal/rng"
+)
+
+// EdgeStream is a generated graph whose edges exist only as a replayable
+// sorted stream: exact vertex count, edge count, and per-vertex degrees,
+// plus an Edges sequence that yields every edge normalized u < v in
+// ascending (u, v) order, identically on every replay. Graph() feeds the
+// stream straight into the CSR constructor, so building a 10⁷–10⁸-edge
+// workload allocates the offsets and adjacency arrays once and nothing
+// else — no materialized edge list, no builder seen-set, no per-vertex
+// sort. Dedupe is structural: each Stream generator arranges its
+// backbone (spanning-tree parents, bridges, lattice neighbors) so that
+// every edge has exactly one emission point in the sweep.
+//
+// Stream generators are bit-identical to their materialized
+// counterparts (property-tested across kinds, seeds, and sizes): they
+// consume the shared RNG in exactly the same order, so
+// StreamGNP(...).Graph() and GNP(...) fingerprint equal.
+type EdgeStream struct {
+	n, m int
+	deg  []int32
+	seq  iter.Seq2[int32, int32]
+}
+
+// N returns the number of vertices.
+func (s *EdgeStream) N() int { return s.n }
+
+// M returns the number of edges.
+func (s *EdgeStream) M() int { return s.m }
+
+// Degree returns the degree of v.
+func (s *EdgeStream) Degree(v int) int { return int(s.deg[v]) }
+
+// Edges returns the replayable sorted edge sequence.
+func (s *EdgeStream) Edges() iter.Seq2[int32, int32] { return s.seq }
+
+// Graph materializes the CSR form in a single replay of the stream.
+func (s *EdgeStream) Graph() *graph.Graph {
+	return graph.FromDegreeEdgeSeq(s.deg, s.seq)
+}
+
+// newEdgeStream runs the counting replay once to fix M and the degrees.
+func newEdgeStream(n int, seq iter.Seq2[int32, int32]) *EdgeStream {
+	s := &EdgeStream{n: n, deg: make([]int32, n), seq: seq}
+	for u, v := range seq {
+		s.deg[u]++
+		s.deg[v]++
+		s.m++
+	}
+	return s
+}
+
+// StreamGNP is the streaming form of GNP: the identical G(n, p) graph
+// (same seed, same RNG consumption order) without materializing an edge
+// list. Spanning-tree parents are drawn first, exactly as GNP draws
+// them; the pair sweep then emits each tree edge at its lexicographic
+// (parent, child) position without consuming randomness — the same
+// backbone-parent dedupe GNP uses to skip the builder probe — and draws
+// one Float64 per remaining pair, emitting it on success. Every edge
+// therefore has exactly one emission point and the stream is ascending
+// by construction.
+func StreamGNP(n int, p float64, seed uint64, ensureConnected bool) *EdgeStream {
+	r := rng.New(seed)
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = -1
+	}
+	if ensureConnected {
+		for v := 1; v < n; v++ {
+			parent[v] = int32(r.Intn(v))
+		}
+	}
+	state := *r // RNG state entering the pair sweep, copied per replay
+	seq := func(yield func(int32, int32) bool) {
+		r := state
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if int(parent[v]) == u {
+					if !yield(int32(u), int32(v)) {
+						return
+					}
+					continue
+				}
+				if r.Float64() < p {
+					if !yield(int32(u), int32(v)) {
+						return
+					}
+				}
+			}
+		}
+	}
+	return newEdgeStream(n, seq)
+}
+
+// StreamCommunities is the streaming form of Communities, bit-identical
+// for the same seed. The connectivity backbone (in-community parents and
+// consecutive-anchor bridges) is fixed before the sweep; the sweep emits
+// backbone edges at their lexicographic positions without consuming
+// randomness and draws per-pair otherwise, exactly as Communities does.
+func StreamCommunities(k, commSize int, pIn, pOut float64, seed uint64) *EdgeStream {
+	n := k * commSize
+	r := rng.New(seed)
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if v%commSize != 0 {
+			base := (v / commSize) * commSize
+			parent[v] = int32(base + r.Intn(v%commSize))
+		}
+	}
+	state := *r
+	seq := func(yield func(int32, int32) bool) {
+		r := state
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if int(parent[v]) == u || (u%commSize == 0 && v-u == commSize) {
+					if !yield(int32(u), int32(v)) {
+						return
+					}
+					continue
+				}
+				p := pOut
+				if u/commSize == v/commSize {
+					p = pIn
+				}
+				if r.Float64() < p {
+					if !yield(int32(u), int32(v)) {
+						return
+					}
+				}
+			}
+		}
+	}
+	return newEdgeStream(n, seq)
+}
+
+// StreamGrid is the streaming form of Grid: each vertex emits its right
+// and down neighbors, which is ascending order by construction.
+func StreamGrid(rows, cols int) *EdgeStream {
+	n := rows * cols
+	seq := func(yield func(int32, int32) bool) {
+		for u := 0; u < n; u++ {
+			if u%cols+1 < cols && !yield(int32(u), int32(u+1)) {
+				return
+			}
+			if u+cols < n && !yield(int32(u), int32(u+cols)) {
+				return
+			}
+		}
+	}
+	return newEdgeStream(n, seq)
+}
+
+// StreamTorus is the streaming form of Torus (rows, cols >= 3; smaller
+// dimensions fall back to StreamGrid, as Torus falls back to Grid). The
+// four lattice neighbors of u that are larger than u — right (unless u
+// is in the last column), the row's wraparound partner (when u is in
+// column 0), down (unless u is in the last row), and the column's
+// wraparound partner (when u is in row 0) — are emitted in that order,
+// which is ascending because rows, cols >= 3.
+func StreamTorus(rows, cols int) *EdgeStream {
+	if rows < 3 || cols < 3 {
+		return StreamGrid(rows, cols)
+	}
+	n := rows * cols
+	seq := func(yield func(int32, int32) bool) {
+		for u := 0; u < n; u++ {
+			c := u % cols
+			if c+1 < cols && !yield(int32(u), int32(u+1)) {
+				return
+			}
+			if c == 0 && !yield(int32(u), int32(u+cols-1)) {
+				return
+			}
+			if u+cols < n && !yield(int32(u), int32(u+cols)) {
+				return
+			}
+			if u < cols && !yield(int32(u), int32(u+(rows-1)*cols)) {
+				return
+			}
+		}
+	}
+	return newEdgeStream(n, seq)
+}

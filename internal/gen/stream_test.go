@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"nearspan/internal/graph"
+)
+
+// TestStreamMatchesMaterialized is the bit-identity property test for the
+// streaming generators: over every generator kind, several seeds, and
+// several sizes, the streamed CSR must fingerprint equal to the
+// materialized builder path, and the stream's precomputed counts must
+// match the graph it produces.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	type tc struct {
+		name string
+		mat  func() *graph.Graph
+		str  func() *EdgeStream
+	}
+	var cases []tc
+	for _, seed := range []uint64{1, 7, 42, 9001} {
+		for _, n := range []int{1, 2, 17, 64, 300} {
+			seed, n := seed, n
+			for _, conn := range []bool{false, true} {
+				conn := conn
+				cases = append(cases, tc{
+					name: fmt.Sprintf("gnp/n=%d/seed=%d/conn=%v", n, seed, conn),
+					mat:  func() *graph.Graph { return GNP(n, 8.0/float64(n), seed, conn) },
+					str:  func() *EdgeStream { return StreamGNP(n, 8.0/float64(n), seed, conn) },
+				})
+			}
+		}
+		for _, kc := range [][2]int{{1, 1}, {3, 5}, {6, 16}} {
+			k, cs, seed := kc[0], kc[1], seed
+			cases = append(cases, tc{
+				name: fmt.Sprintf("communities/k=%d/size=%d/seed=%d", k, cs, seed),
+				mat:  func() *graph.Graph { return Communities(k, cs, 0.4, 0.02, seed) },
+				str:  func() *EdgeStream { return StreamCommunities(k, cs, 0.4, 0.02, seed) },
+			})
+		}
+	}
+	for _, rc := range [][2]int{{1, 1}, {1, 5}, {2, 2}, {3, 3}, {4, 9}, {12, 12}} {
+		rows, cols := rc[0], rc[1]
+		cases = append(cases, tc{
+			name: fmt.Sprintf("grid/%dx%d", rows, cols),
+			mat:  func() *graph.Graph { return Grid(rows, cols) },
+			str:  func() *EdgeStream { return StreamGrid(rows, cols) },
+		})
+		cases = append(cases, tc{
+			name: fmt.Sprintf("torus/%dx%d", rows, cols),
+			mat:  func() *graph.Graph { return Torus(rows, cols) },
+			str:  func() *EdgeStream { return StreamTorus(rows, cols) },
+		})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := c.mat()
+			s := c.str()
+			if s.N() != want.N() || s.M() != want.M() {
+				t.Fatalf("stream counts (n=%d, m=%d) != materialized (n=%d, m=%d)",
+					s.N(), s.M(), want.N(), want.M())
+			}
+			got := s.Graph()
+			wm, wh := graph.Fingerprint(want)
+			gm, gh := graph.Fingerprint(got)
+			if wm != gm || wh != gh {
+				t.Fatalf("stream fingerprint (%d, %s) != materialized (%d, %s)", gm, gh, wm, wh)
+			}
+			for v := 0; v < want.N(); v++ {
+				if s.Degree(v) != want.Degree(v) {
+					t.Fatalf("vertex %d: stream degree %d != materialized %d", v, s.Degree(v), want.Degree(v))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamReplayable checks that Edges yields the identical sequence on
+// repeated iteration (the RNG snapshot is copied, not consumed) and that
+// early termination of one replay does not disturb the next.
+func TestStreamReplayable(t *testing.T) {
+	s := StreamGNP(200, 0.05, 123, true)
+	var first [][2]int32
+	for u, v := range s.Edges() {
+		first = append(first, [2]int32{u, v})
+	}
+	if len(first) != s.M() {
+		t.Fatalf("replay yielded %d edges, M() = %d", len(first), s.M())
+	}
+	// Partial replay, then a full one.
+	stop := 0
+	for range s.Edges() {
+		stop++
+		if stop == 3 {
+			break
+		}
+	}
+	i := 0
+	for u, v := range s.Edges() {
+		if e := first[i]; e[0] != u || e[1] != v {
+			t.Fatalf("replay edge %d = (%d, %d), want (%d, %d)", i, u, v, e[0], e[1])
+		}
+		i++
+	}
+	if i != len(first) {
+		t.Fatalf("second replay yielded %d edges, first yielded %d", i, len(first))
+	}
+}

@@ -31,6 +31,19 @@ type Builder struct {
 	m    int          // total edges added
 	runs [][][2]int32 // sorted, duplicate-free runs; sizes shrink left to right
 	buf  [][2]int32   // recent edges, unsorted, at most builderBufLimit
+
+	// hi[i] is the largest key in runs[i] — the run directory. While the
+	// runs' key ranges are pairwise disjoint and ascending (disjoint),
+	// contains binary-searches the directory for the single run that can
+	// hold a key instead of probing every run. Generators emit edges in
+	// ascending order, which used to be the adversarial case: every flush
+	// appended a run whose range sat above all earlier ones, so each
+	// AddEdge paid one binary search per run for runs that could not
+	// possibly contain the key. Out-of-order insertions break the
+	// invariant (disjoint goes false) and probing falls back to scanning
+	// the runs whose [lo, hi] range covers the key.
+	lo, hi   [][2]int32
+	disjoint bool
 }
 
 // builderBufLimit bounds the unsorted tail scanned linearly on every
@@ -42,7 +55,7 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		n = 0
 	}
-	return &Builder{n: n}
+	return &Builder{n: n, disjoint: true}
 }
 
 // AddEdge inserts the undirected edge {u, v}. It returns an error if the
@@ -78,7 +91,20 @@ func (b *Builder) contains(key [2]int32) bool {
 	if slices.Contains(b.buf, key) {
 		return true
 	}
-	for _, run := range b.runs {
+	if b.disjoint {
+		// One binary search over the directory of run maxima finds the
+		// only run whose range can hold the key.
+		i, _ := slices.BinarySearchFunc(b.hi, key, cmpEdge)
+		if i >= len(b.runs) || edgeLess(key, b.lo[i]) {
+			return false
+		}
+		_, ok := slices.BinarySearchFunc(b.runs[i], key, cmpEdge)
+		return ok
+	}
+	for i, run := range b.runs {
+		if edgeLess(key, b.lo[i]) || edgeLess(b.hi[i], key) {
+			continue
+		}
 		if _, ok := slices.BinarySearchFunc(run, key, cmpEdge); ok {
 			return true
 		}
@@ -88,7 +114,9 @@ func (b *Builder) contains(key [2]int32) bool {
 
 // flush turns the buffer into a sorted run and restores the geometric
 // run-size invariant by merging the smallest runs. AddEdge already
-// rejected duplicates, so merges need no dedupe pass.
+// rejected duplicates, so merges need no dedupe pass. The run directory
+// (lo/hi) tracks each run's key range; merging adjacent stack entries
+// preserves the disjoint-and-ascending invariant when it held before.
 func (b *Builder) flush() {
 	if len(b.buf) == 0 {
 		return
@@ -96,7 +124,12 @@ func (b *Builder) flush() {
 	run := b.buf
 	slices.SortFunc(run, cmpEdge)
 	b.buf = make([][2]int32, 0, builderBufLimit)
+	if n := len(b.runs); n > 0 && !edgeLess(b.hi[n-1], run[0]) {
+		b.disjoint = false
+	}
 	b.runs = append(b.runs, run)
+	b.lo = append(b.lo, run[0])
+	b.hi = append(b.hi, run[len(run)-1])
 	for len(b.runs) >= 2 {
 		a, c := b.runs[len(b.runs)-2], b.runs[len(b.runs)-1]
 		if len(a) > 2*len(c) {
@@ -104,6 +137,11 @@ func (b *Builder) flush() {
 		}
 		b.runs = b.runs[:len(b.runs)-2]
 		b.runs = append(b.runs, mergeRuns(a, c))
+		merged := b.runs[len(b.runs)-1]
+		b.lo = b.lo[:len(b.lo)-1]
+		b.hi = b.hi[:len(b.hi)-1]
+		b.lo[len(b.lo)-1] = merged[0]
+		b.hi[len(b.hi)-1] = merged[len(merged)-1]
 	}
 }
 
@@ -238,6 +276,46 @@ func FromSortedEdgeSeq(n, m int, seq iter.Seq2[int32, int32]) *Graph {
 	return &Graph{n: n, m: m, offs: offs, adj: adj, degMax: degMax}
 }
 
+// FromDegreeEdgeSeq builds a CSR graph from a single pass over a sorted
+// deduplicated edge stream whose per-vertex degrees are already known.
+// It is FromSortedEdgeSeq minus the counting pass: streaming generators
+// compute exact degrees during their one structural sweep, so the CSR
+// arrays are allocated once, at exactly the right size, and the stream
+// is replayed exactly once to fill them. The caller guarantees the same
+// stream contract as FromSortedEdgeSeq (normalized u < v, ascending,
+// in-range, duplicate-free) and that deg matches the stream; a degree
+// mismatch is detected (the fill cursor diverges from the offsets) and
+// panics rather than returning a corrupt graph.
+func FromDegreeEdgeSeq(deg []int32, seq iter.Seq2[int32, int32]) *Graph {
+	n := len(deg)
+	offs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + deg[v]
+	}
+	adj := make([]int32, offs[n])
+	fill := make([]int32, n)
+	copy(fill, offs[:n])
+	m := 0
+	for u, v := range seq {
+		adj[fill[u]] = v
+		fill[u]++
+		adj[fill[v]] = u
+		fill[v]++
+		m++
+	}
+	degMax := 0
+	for v := 0; v < n; v++ {
+		if fill[v] != offs[v+1] {
+			panic(fmt.Sprintf("graph: FromDegreeEdgeSeq degree mismatch at vertex %d: declared %d, stream filled %d",
+				v, deg[v], fill[v]-offs[v]))
+		}
+		if d := int(offs[v+1] - offs[v]); d > degMax {
+			degMax = d
+		}
+	}
+	return &Graph{n: n, m: m, offs: offs, adj: adj, degMax: degMax}
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -265,6 +343,18 @@ func (g *Graph) Neighbors(v int) []int32 {
 func (g *Graph) Neighbor(v, port int) int {
 	return int(g.adj[int(g.offs[v])+port])
 }
+
+// AdjAt returns the i-th entry of the flat adjacency array, where i is a
+// global directed-edge index: entry Offset(v)+p is Neighbor(v, p). The
+// CONGEST simulator's slot layout is exactly this indexing, so exposing
+// the flat array lets it derive a slot's destination vertex without a
+// per-slot table of its own (8 bytes per directed edge it no longer
+// retains at scale).
+func (g *Graph) AdjAt(i int) int32 { return g.adj[i] }
+
+// Offset returns the index into the flat adjacency array where v's
+// neighbors begin; Offset(n) is the array length (2m). See AdjAt.
+func (g *Graph) Offset(v int) int32 { return g.offs[v] }
 
 // PortOf returns the port p such that Neighbor(v, p) == u, or -1 if u is
 // not adjacent to v.

@@ -1,0 +1,208 @@
+package graph
+
+import "testing"
+
+// degSeq builds the (deg, seq) pair FromDegreeEdgeSeq expects from a
+// literal edge list (already normalized u < v, ascending).
+func degSeq(n int, edges [][2]int32) ([]int32, func(func(int32, int32) bool)) {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg, func(yield func(int32, int32) bool) {
+		for _, e := range edges {
+			if !yield(e[0], e[1]) {
+				return
+			}
+		}
+	}
+}
+
+func TestFromDegreeEdgeSeq(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	deg, seq := degSeq(4, edges)
+	g := FromDegreeEdgeSeq(deg, seq)
+	want := FromSortedEdgeSeq(4, len(edges), seq)
+	gm, gh := Fingerprint(g)
+	wm, wh := Fingerprint(want)
+	if gm != wm || gh != wh {
+		t.Fatalf("FromDegreeEdgeSeq fingerprint (%d, %s) != FromSortedEdgeSeq (%d, %s)", gm, gh, wm, wh)
+	}
+	if g.degMax != 2 {
+		t.Fatalf("DegMax = %d, want 2", g.degMax)
+	}
+	for i := 0; i < 2*len(edges); i++ {
+		if g.AdjAt(i) != want.AdjAt(i) {
+			t.Fatalf("AdjAt(%d) = %d, want %d", i, g.AdjAt(i), want.AdjAt(i))
+		}
+	}
+	for v := 0; v <= 4; v++ {
+		if g.Offset(v) != want.Offset(v) {
+			t.Fatalf("Offset(%d) = %d, want %d", v, g.Offset(v), want.Offset(v))
+		}
+	}
+}
+
+func TestFromDegreeEdgeSeqEmpty(t *testing.T) {
+	deg, seq := degSeq(3, nil)
+	g := FromDegreeEdgeSeq(deg, seq)
+	if g.N() != 3 || g.M() != 0 || g.degMax != 0 {
+		t.Fatalf("empty graph: n=%d m=%d degMax=%d", g.N(), g.M(), g.degMax)
+	}
+}
+
+func TestFromDegreeEdgeSeqDegreeMismatchPanics(t *testing.T) {
+	deg, _ := degSeq(3, [][2]int32{{0, 1}, {1, 2}})
+	// The stream delivers one edge fewer than the degrees promise.
+	short := func(yield func(int32, int32) bool) { yield(0, 1) }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromDegreeEdgeSeq did not panic on degree/stream mismatch")
+		}
+	}()
+	FromDegreeEdgeSeq(deg, short)
+}
+
+// TestFingerprintSampledEquivalence: with samples >= n, the sampled
+// fingerprint must equal the full one bit for bit — the sampled mode
+// degrades to the full witness, not to a different hash.
+func TestFingerprintSampledEquivalence(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {0, 2}, {1, 4}, {2, 3}, {3, 4}, {4, 5}}
+	deg, seq := degSeq(6, edges)
+	g := FromDegreeEdgeSeq(deg, seq)
+	fm, fh := Fingerprint(g)
+	for _, samples := range []int{6, 7, 1000} {
+		for _, seed := range []uint64{0, 1, 99} {
+			sm, sh := FingerprintSampled(g, samples, seed)
+			if sm != fm || sh != fh {
+				t.Fatalf("samples=%d seed=%d: sampled (%d, %s) != full (%d, %s)",
+					samples, seed, sm, sh, fm, fh)
+			}
+		}
+	}
+}
+
+// TestFingerprintSampledPartial: a proper sample is deterministic for a
+// fixed (samples, seed), covers a subset of the edges, and distinguishes
+// graphs that differ on an edge incident to the sample.
+func TestFingerprintSampledPartial(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {0, 2}, {1, 4}, {2, 3}, {3, 4}, {4, 5}}
+	deg, seq := degSeq(6, edges)
+	g := FromDegreeEdgeSeq(deg, seq)
+	m1, h1 := FingerprintSampled(g, 2, 7)
+	m2, h2 := FingerprintSampled(g, 2, 7)
+	if m1 != m2 || h1 != h2 {
+		t.Fatalf("sampled fingerprint not deterministic: (%d, %s) vs (%d, %s)", m1, h1, m2, h2)
+	}
+	if m1 <= 0 || m1 > len(edges) {
+		t.Fatalf("sampled edge count %d out of range (0, %d]", m1, len(edges))
+	}
+	if m0, _ := FingerprintSampled(g, 0, 7); m0 != 0 {
+		t.Fatalf("samples=0 touched %d edges, want 0", m0)
+	}
+	// Perturb one edge; since every vertex has degree >= 1 and the change
+	// moves an endpoint, some seed's 2-vertex sample must notice. Use the
+	// same (samples, seed) and check at least one seed distinguishes.
+	edges2 := [][2]int32{{0, 1}, {0, 2}, {1, 4}, {2, 3}, {3, 4}, {3, 5}}
+	deg2, seq2 := degSeq(6, edges2)
+	g2 := FromDegreeEdgeSeq(deg2, seq2)
+	distinguished := false
+	for seed := uint64(0); seed < 8; seed++ {
+		_, a := FingerprintSampled(g, 2, seed)
+		_, b := FingerprintSampled(g2, 2, seed)
+		if a != b {
+			distinguished = true
+			break
+		}
+	}
+	if !distinguished {
+		t.Fatal("no 2-vertex sample distinguished graphs differing on edge {4,5} vs {3,5}")
+	}
+}
+
+// BenchmarkBuilderInsert measures AddEdge across insertion orders. The
+// "sorted" order is the adversarial case for the old linear run probe:
+// every flush produces a run disjoint from (and after) all previous
+// runs, so runs accumulate without merging and each contains() walked
+// all of them. The run directory binary-search makes it O(log runs).
+func BenchmarkBuilderInsert(b *testing.B) {
+	const n = 1 << 14
+	orders := map[string]func(add func(u, v int)){
+		"sorted": func(add func(u, v int)) {
+			for u := 0; u < n; u++ {
+				for s := 1; s <= 8; s++ {
+					if u+s < n {
+						add(u, u+s)
+					}
+				}
+			}
+		},
+		"scattered": func(add func(u, v int)) {
+			for s := 1; s <= 8; s++ {
+				for u := 0; u < n; u++ {
+					if u+s < n {
+						add(u, u+s)
+					}
+				}
+			}
+		},
+	}
+	for name, order := range orders {
+		b.Run(name, func(b *testing.B) {
+			var edges int
+			order(func(u, v int) { edges++ })
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bl := NewBuilder(n)
+				order(func(u, v int) {
+					if err := bl.AddEdge(u, v); err != nil {
+						b.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+					}
+				})
+				if bl.NumEdges() != edges {
+					b.Fatalf("NumEdges=%d, want %d", bl.NumEdges(), edges)
+				}
+			}
+		})
+	}
+}
+
+// TestBuilderAdversarialSorted pins the directory fast path: fully
+// sorted insertion keeps runs disjoint, and duplicate probes against
+// old runs must still be caught (via the directory search, not the
+// fallback scan).
+func TestBuilderAdversarialSorted(t *testing.T) {
+	const n = 2000
+	b := NewBuilder(n)
+	for u := 0; u < n-1; u++ {
+		if err := b.AddEdge(u, u+1); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", u, u+1, err)
+		}
+		if u%3 == 0 && u+2 < n {
+			if err := b.AddEdge(u, u+2); err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", u, u+2, err)
+			}
+		}
+	}
+	for _, probe := range [][2]int{{0, 1}, {999, 1000}, {n - 2, n - 1}, {3, 5}} {
+		if err := b.AddEdge(probe[0], probe[1]); err == nil {
+			t.Fatalf("duplicate (%d,%d) accepted", probe[0], probe[1])
+		}
+	}
+	g := b.Build()
+	want := n - 1
+	for u := 0; u < n-1; u++ {
+		if u%3 == 0 && u+2 < n {
+			want++
+		}
+	}
+	if g.M() != want {
+		t.Fatalf("built %d edges, want %d", g.M(), want)
+	}
+	for u := 0; u+2 < n; u += 3 {
+		if !g.HasEdge(u, u+2) {
+			t.Fatalf("missing edge {%d,%d}", u, u+2)
+		}
+	}
+}

@@ -47,17 +47,17 @@ func (gs GraphSpec) build() (*graph.Graph, error) {
 		if gs.N <= 0 {
 			return nil, fmt.Errorf("gnp needs n > 0")
 		}
-		return gen.GNP(gs.N, gs.P, gs.Seed, gs.Connected), nil
+		return gen.StreamGNP(gs.N, gs.P, gs.Seed, gs.Connected).Graph(), nil
 	case "grid":
 		if gs.Rows <= 0 || gs.Cols <= 0 {
 			return nil, fmt.Errorf("grid needs rows > 0 and cols > 0")
 		}
-		return gen.Grid(gs.Rows, gs.Cols), nil
+		return gen.StreamGrid(gs.Rows, gs.Cols).Graph(), nil
 	case "torus":
 		if gs.Rows <= 0 || gs.Cols <= 0 {
 			return nil, fmt.Errorf("torus needs rows > 0 and cols > 0")
 		}
-		return gen.Torus(gs.Rows, gs.Cols), nil
+		return gen.StreamTorus(gs.Rows, gs.Cols).Graph(), nil
 	case "path":
 		if gs.N <= 0 {
 			return nil, fmt.Errorf("path needs n > 0")
@@ -82,7 +82,7 @@ func (gs GraphSpec) build() (*graph.Graph, error) {
 		if gs.K <= 0 || gs.CommSize <= 0 {
 			return nil, fmt.Errorf("communities needs k > 0 and comm_size > 0")
 		}
-		return gen.Communities(gs.K, gs.CommSize, gs.PIn, gs.POut, gs.Seed), nil
+		return gen.StreamCommunities(gs.K, gs.CommSize, gs.PIn, gs.POut, gs.Seed).Graph(), nil
 	case "edgelist":
 		if gs.Edges == "" {
 			return nil, fmt.Errorf("edgelist needs non-empty edges text")

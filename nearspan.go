@@ -146,6 +146,16 @@ type Config struct {
 	// histogram at the cut, in DistributedMode). This is the per-job
 	// round cap of the build service.
 	RoundBudget int
+	// ArenaFraction controls how much of the CONGEST simulator's
+	// worst-case message arena DistributedMode preallocates. The arena
+	// grows lazily in pages as protocol traffic touches slots; this knob
+	// only trades first-touch latency against idle memory. 0 (the
+	// default) preallocates a small reserve, negative values allocate
+	// nothing up front — the right setting for 10⁷-edge-and-up builds —
+	// and values >= 1 restore the legacy full worst-case preallocation.
+	// The spanner, rounds, messages, and reported ArenaBytes are
+	// bit-identical for every setting.
+	ArenaFraction float64
 }
 
 // BuildSpanner constructs a (1+ε', β)-spanner of g.
@@ -165,11 +175,12 @@ func BuildSpannerContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		return nil, err
 	}
 	return core.Build(ctx, g, p, core.Options{
-		Mode:         cfg.Mode,
-		Engine:       cfg.engine(),
-		KeepClusters: cfg.KeepClusters,
-		OnStep:       cfg.OnStep,
-		RoundBudget:  cfg.RoundBudget,
+		Mode:          cfg.Mode,
+		Engine:        cfg.engine(),
+		KeepClusters:  cfg.KeepClusters,
+		OnStep:        cfg.OnStep,
+		RoundBudget:   cfg.RoundBudget,
+		ArenaFraction: cfg.ArenaFraction,
 	})
 }
 
@@ -357,3 +368,44 @@ func RandomGeometric(n int, radius float64, seed uint64, ensureConnected bool) *
 // ReadEdgeList parses the whitespace edge-list format (header "n m",
 // one "u v" line per edge; '#' comments allowed).
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Streaming generators, for graphs too large to hold as an edge buffer.
+// An EdgeStream knows the exact vertex count, edge count, and degree
+// sequence of its graph before any edge is materialized, and replays its
+// sorted edge sequence as many times as asked; EdgeStream.Graph builds
+// the CSR in a single allocation and a single fill pass. A streamed
+// generator yields the bit-identical graph to its materialized
+// counterpart with the same parameters.
+
+// EdgeStream is a replayable sorted edge sequence with known counts.
+type EdgeStream = gen.EdgeStream
+
+// StreamGNP is the streaming form of GNP.
+func StreamGNP(n int, p float64, seed uint64, ensureConnected bool) *EdgeStream {
+	return gen.StreamGNP(n, p, seed, ensureConnected)
+}
+
+// StreamGrid is the streaming form of Grid.
+func StreamGrid(rows, cols int) *EdgeStream { return gen.StreamGrid(rows, cols) }
+
+// StreamTorus is the streaming form of Torus.
+func StreamTorus(rows, cols int) *EdgeStream { return gen.StreamTorus(rows, cols) }
+
+// StreamCommunities is the streaming form of Communities.
+func StreamCommunities(k, commSize int, pIn, pOut float64, seed uint64) *EdgeStream {
+	return gen.StreamCommunities(k, commSize, pIn, pOut, seed)
+}
+
+// Fingerprint returns a graph's edge count and a canonical digest of
+// its exact edge set — equal fingerprints on equal-order graphs mean
+// equal graphs, the cheap cross-engine and cross-generator identity
+// check.
+func Fingerprint(g *Graph) (m int, hash string) { return graph.Fingerprint(g) }
+
+// FingerprintSampled digests the edges incident to a deterministic
+// pseudo-random sample of vertices — the verification mode for graphs
+// too large to fingerprint in full. With samples >= g.N() it equals
+// Fingerprint.
+func FingerprintSampled(g *Graph, samples int, seed uint64) (m int, hash string) {
+	return graph.FingerprintSampled(g, samples, seed)
+}
