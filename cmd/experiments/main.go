@@ -70,6 +70,14 @@ func main() {
 		"instead of the suite, run one scale-regime workload near this many edges (streamed GNP through the full distributed build with a lazy arena) and print its memory/time report; try 1000000 locally, 10000000 for the full smoke")
 	scaleVerify := flag.Int("scale-verify", 0,
 		"with -scale: run a sampled stretch verification from this many BFS sources after the build")
+	deltaChurn := flag.Int("delta-churn", 0,
+		"instead of the suite, run this many incremental-rebuild churn steps (random edge deltas chained through core.Rebuild) on a streamed GNP workload and print the per-step speedup report")
+	deltaEdges := flag.Int("delta-edges", 0,
+		"with -delta-churn: approximate edge count of the churn workload (default 250000)")
+	deltaOps := flag.Int("delta-ops", 0,
+		"with -delta-churn: delete+insert pairs per churn batch (default 8)")
+	deltaVerify := flag.Bool("delta-verify", true,
+		"with -delta-churn: rebuild the final patched graph from scratch and require a bit-identical fingerprint")
 	flag.Parse()
 	eng, err := congest.ParseEngine(*engine)
 	if err != nil {
@@ -104,6 +112,22 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		return
+	}
+	if *deltaChurn > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := experiments.DeltaChurnRun(ctx, experiments.DeltaChurnSpec{
+			TargetEdges: *deltaEdges,
+			Steps:       *deltaChurn,
+			Ops:         *deltaOps,
+			Verify:      *deltaVerify,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.WriteDeltaChurnReport(os.Stdout, res)
 		return
 	}
 	if *scale > 0 {

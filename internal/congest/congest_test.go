@@ -259,6 +259,15 @@ func TestEnginesProduceIdenticalExecutions(t *testing.T) {
 			hist, m := runGossip(t, g, opts, 12)
 			runs = append(runs, run{label, hist, m})
 		}
+		// The parallel engine has two execution paths — inline for small
+		// frontiers, runtime dispatch above the cutoff. These graphs are
+		// all below the default cutoff, so force the dispatch path too.
+		func() {
+			defer func(c int) { inlineFrontierCutoff = c }(inlineFrontierCutoff)
+			inlineFrontierCutoff = 0
+			hist, m := runGossip(t, g, Options{Engine: EngineParallel}, 12)
+			runs = append(runs, run{"parallel-dispatch", hist, m})
+		}()
 		for i := 0; i < len(runs); i++ {
 			for j := i + 1; j < len(runs); j++ {
 				a, b := runs[i], runs[j]

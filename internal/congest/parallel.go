@@ -16,6 +16,16 @@ const (
 	shardsPerWorker = 4
 )
 
+// inlineFrontierCutoff is the frontier size below which the round runs
+// as a single shard on the coordinating goroutine instead of being
+// submitted to the runtime: for small frontiers the batch dispatch and
+// barrier cost more than the round's program work, and on small graphs
+// (~10³ vertices) that overhead made EngineParallel slower than
+// EngineSequential. The inline path is the shards=1 execution with the
+// Runtime.Do round-trip removed, so the output is bit-identical. A var
+// only so tests can force either path.
+var inlineFrontierCutoff = 2048
+
 // shardState is one shard's private mutable state for a round: its send
 // log, its gather scratch buffer, and its reusable vertex handle. Each
 // shardState is a separate heap allocation padded past a cache line, so
@@ -124,6 +134,18 @@ func (s *Simulator) stepParallel() {
 	ps := s.par
 	n := len(s.frontier)
 	if n == 0 {
+		return
+	}
+	if n <= inlineFrontierCutoff {
+		if len(ps.shards) == 0 {
+			ps.shards = append(ps.shards, &shardState{})
+		}
+		s.runShard(ps, 0, n, ps.shards[0])
+		if ps.panicked != nil { // inline: no other writers, no lock needed
+			s.Close()
+			panic(ps.panicked)
+		}
+		s.collectLog(&ps.shards[0].log)
 		return
 	}
 	workers := ps.workers

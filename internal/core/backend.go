@@ -49,7 +49,7 @@ func (d *distributedBackend) messages() int64 {
 	return total
 }
 
-func (d *distributedBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+func (d *distributedBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32, rec *protocols.TranscriptRecorder) (protocols.NNResult, int, error) {
 	// The schedule always consumes its budget (vertices cannot detect
 	// global emptiness), but with no centers not a single message flows,
 	// so the simulation itself can be skipped.
@@ -59,7 +59,11 @@ func (d *distributedBackend) nearNeighbors(ctx context.Context, centers []int, d
 		return protocols.EmptyNNResult(d.g.N()), rounds, nil
 	}
 	isC := membership(d.g.N(), centers)
-	return protocols.RunNearNeighbors(ctx, d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta)
+	return protocols.RunNearNeighborsRec(ctx, d.net, d.phase, func(v int) bool { return isC[v] }, deg, delta, rec)
+}
+
+func (d *distributedBackend) recordReplayed(step string, rounds int) error {
+	return d.net.RecordReplayed(d.phase, step, rounds)
 }
 
 func (d *distributedBackend) rulingSet(ctx context.Context, members []int, q int32, c int) ([]int, int, error) {
@@ -145,12 +149,22 @@ func (c *centralBackend) arenaBytes() int64 { return 0 }
 func (c *centralBackend) arenaWorstCase() int64 { return 0 }
 
 func (c *centralBackend) record(step string, rounds int) error {
-	sm := protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds}
+	return c.recordMetric(protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds})
+}
+
+// recordReplayed records a delta-rebuild spliced step: schedule rounds
+// charged (a rebuilt job fits the same round cap as a full build), no
+// protocol ran.
+func (c *centralBackend) recordReplayed(step string, rounds int) error {
+	return c.recordMetric(protocols.StepMetrics{Phase: c.phase, Step: step, Rounds: rounds, Replayed: true})
+}
+
+func (c *centralBackend) recordMetric(sm protocols.StepMetrics) error {
 	c.rec = append(c.rec, sm)
 	if c.onStep != nil {
 		c.onStep(sm)
 	}
-	c.used += rounds
+	c.used += sm.Rounds
 	if c.budget > 0 && c.used > c.budget {
 		return &congest.ErrBudgetExhausted{MaxRounds: c.budget}
 	}
@@ -159,7 +173,7 @@ func (c *centralBackend) record(step string, rounds int) error {
 
 func (c *centralBackend) messages() int64 { return 0 }
 
-func (c *centralBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error) {
+func (c *centralBackend) nearNeighbors(ctx context.Context, centers []int, deg int, delta int32, rec *protocols.TranscriptRecorder) (protocols.NNResult, int, error) {
 	if err := ctx.Err(); err != nil {
 		return protocols.NNResult{}, 0, err
 	}
@@ -167,7 +181,8 @@ func (c *centralBackend) nearNeighbors(ctx context.Context, centers []int, deg i
 	if err := c.record(protocols.StepNearNeighbors, rounds); err != nil {
 		return protocols.NNResult{}, rounds, err
 	}
-	return protocols.CentralNearNeighbors(c.g, centers, deg, delta), rounds, nil
+	nn, _ := protocols.CentralNearNeighborsRec(c.g, centers, deg, delta, rec)
+	return nn, rounds, nil
 }
 
 func (c *centralBackend) rulingSet(ctx context.Context, members []int, q int32, cc int) ([]int, int, error) {

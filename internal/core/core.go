@@ -31,6 +31,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"nearspan/internal/cluster"
 	"nearspan/internal/congest"
@@ -104,6 +105,19 @@ type Options struct {
 	// preallocation. Purely a memory/latency trade — the build result is
 	// bit-identical for every setting.
 	ArenaFraction float64
+	// KeepRebuildState retains, in Result.Rebuild, the state a later
+	// Rebuild replays against: the source graph, the per-phase center
+	// sets, near-neighbors tables, and forward transcripts. Costs memory
+	// proportional to the tables (the spanner pipeline's dominant state)
+	// but makes edge-delta rebuilds frontier-scoped instead of
+	// from-scratch. Rebuild results always retain it, so rebuilds chain.
+	KeepRebuildState bool
+	// MaxAffectedFraction bounds Rebuild's dirty frontier as a fraction
+	// of n: a delta whose affected region grows past it abandons the
+	// incremental path and falls back to a full build (correct either
+	// way; the threshold only picks which is cheaper). 0 means the
+	// default 0.25; values >= 1 never fall back.
+	MaxAffectedFraction float64
 }
 
 // PhaseStats records one phase's measurements, aligned with the paper's
@@ -174,6 +188,17 @@ type Result struct {
 	// interconnected at phase i (only when Options.KeepClusters).
 	P []*cluster.Collection
 	U []*cluster.Collection
+
+	// Rebuild is the retained delta-rebuild state (with
+	// Options.KeepRebuildState, and always on Rebuild results).
+	Rebuild *RebuildState
+
+	// Incremental reports that this result came from Rebuild's
+	// frontier-scoped path; false for full builds and for rebuilds that
+	// fell back to a full build. Tracked is the total dirty-frontier
+	// size across phases when Incremental.
+	Incremental bool
+	Tracked     int
 }
 
 // EdgeCount returns |E_H|.
@@ -188,21 +213,35 @@ func (r *Result) EdgeCount() int { return r.Spanner.M() }
 // returns the accumulated stream.
 type backend interface {
 	beginPhase(i int)
-	nearNeighbors(ctx context.Context, centers []int, deg int, delta int32) (protocols.NNResult, int, error)
+	nearNeighbors(ctx context.Context, centers []int, deg int, delta int32, rec *protocols.TranscriptRecorder) (protocols.NNResult, int, error)
 	rulingSet(ctx context.Context, members []int, q int32, c int) ([]int, int, error)
 	forest(ctx context.Context, roots []int, depth int32) (protocols.ForestResult, int, error)
 	climb(ctx context.Context, step string, rt *protocols.Routing, start [][]int64, keysPerVertex, pathLen int, h *edgeset.Set) (int, int, error)
+	recordReplayed(step string, rounds int) error
 	messages() int64
 	steps() []protocols.StepMetrics
 	arenaBytes() int64
 	arenaWorstCase() int64
 }
 
+// nnHook lets Rebuild substitute the near-neighbors step of each phase
+// with a transcript-diff splice. It returns handled = false to fall
+// through to the real protocol, or an error to abort the build (the
+// fallback-to-full signal surfaces this way).
+type nnHook func(ctx context.Context, phase int, centers []int) (nn protocols.NNResult, tr protocols.NNTranscript, tracked int, handled bool, err error)
+
 // Build constructs the spanner for g under p. Cancelling the context
 // aborts the construction — within one simulated round in distributed
 // mode, at the next protocol step centrally — and returns the context's
 // error (wrapped); a cancelled Build never returns a partial spanner.
 func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) (*Result, error) {
+	return buildWith(ctx, g, p, opts, nil)
+}
+
+// build is the shared construction engine behind Build and Rebuild:
+// hook, when non-nil, may substitute each phase's near-neighbors step
+// with a spliced result (recorded as a replayed step).
+func buildWith(ctx context.Context, g *graph.Graph, p *params.Params, opts Options, hook nnHook) (*Result, error) {
 	if p.N != g.N() {
 		return nil, fmt.Errorf("core: params for n=%d but graph has n=%d", p.N, g.N())
 	}
@@ -232,6 +271,10 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	}
 
 	res := &Result{Params: p, Mode: opts.Mode}
+	var state *RebuildState
+	if opts.KeepRebuildState || hook != nil {
+		state = &RebuildState{Graph: g, Params: p}
+	}
 	h := edgeset.NewSet(g.N())
 	cur := cluster.Singletons(g.N())
 
@@ -253,10 +296,45 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 		msgsBefore := bk.messages()
 		centers := cur.Centers()
 
-		// Algorithm 1: popularity detection + neighborhood knowledge.
-		nn, nnRounds, err := bk.nearNeighbors(ctx, centers, p.Deg[i], p.Delta[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
+		// Algorithm 1: popularity detection + neighborhood knowledge —
+		// either the real protocol, or (under Rebuild's hook) a
+		// transcript-diff splice recorded as a replayed step.
+		var nn protocols.NNResult
+		var tr protocols.NNTranscript
+		var nnRounds int
+		var err error
+		handled := false
+		if hook != nil {
+			var tracked int
+			nn, tr, tracked, handled, err = hook(ctx, i, centers)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
+			}
+			if handled {
+				nnRounds = protocols.NearNeighborsRounds(p.Deg[i], p.Delta[i])
+				if err := bk.recordReplayed(protocols.StepNearNeighbors, nnRounds); err != nil {
+					return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
+				}
+				res.Tracked += tracked
+			}
+		}
+		if !handled {
+			var rec *protocols.TranscriptRecorder
+			if state != nil {
+				rec = protocols.NewTranscriptRecorder(g.N())
+			}
+			nn, nnRounds, err = bk.nearNeighbors(ctx, centers, p.Deg[i], p.Delta[i], rec)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase %d near-neighbors: %w", i, err)
+			}
+			if rec != nil {
+				tr = rec.Finish(p.Delta[i] - 1)
+			}
+		}
+		if state != nil {
+			state.Phases = append(state.Phases, RebuildPhase{
+				Centers: slices.Clone(centers), NN: nn, Transcript: tr,
+			})
 		}
 		ps.RoundsNN = nnRounds
 
@@ -294,6 +372,7 @@ func Build(ctx context.Context, g *graph.Graph, p *params.Params, opts Options) 
 	}
 
 	res.Spanner = h.Graph()
+	res.Rebuild = state
 	for _, ps := range res.Phases {
 		res.TotalRounds += ps.Rounds()
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nearspan/internal/delta"
+	"nearspan/internal/graph"
+	"nearspan/internal/params"
+	"nearspan/internal/protocols"
+)
+
+// RebuildState is the state a delta rebuild replays against: the source
+// graph and, per construction phase, the center set, the near-neighbors
+// table, and the forward transcript. Build retains it under
+// Options.KeepRebuildState; Rebuild results always carry a fresh one, so
+// rebuilds chain across an arbitrary churn sequence.
+type RebuildState struct {
+	Graph  *graph.Graph
+	Params *params.Params
+	Phases []RebuildPhase
+}
+
+// RebuildPhase is one phase's retained state.
+type RebuildPhase struct {
+	Centers    []int
+	NN         protocols.NNResult
+	Transcript protocols.NNTranscript
+}
+
+// DefaultMaxAffectedFraction is the fallback-to-full threshold used when
+// Options.MaxAffectedFraction is zero: a dirty frontier past a quarter
+// of the vertices no longer amortizes against a full build.
+const DefaultMaxAffectedFraction = 0.25
+
+// errAffectedTooLarge aborts the incremental path when a phase's dirty
+// frontier exceeds the fallback threshold; Rebuild catches it and runs a
+// full build on the patched graph instead.
+var errAffectedTooLarge = errors.New("core: delta affected region exceeds fallback threshold")
+
+// Rebuild constructs the spanner of prev's graph patched by batch,
+// reusing prev's retained state: each phase's near-neighbors step — the
+// dominant cost of a build — is recomputed only on the dirty frontier
+// the delta actually perturbs (see delta.DiffNN), and the cheap steps
+// (ruling sets, forests, climbs) re-run in full on the patched graph
+// over the spliced tables. The result is bit-identical to Build on the
+// patched graph — same spanner fingerprint, same table contents — in
+// every mode and engine; only the work differs.
+//
+// prev must carry rebuild state (Options.KeepRebuildState, or itself a
+// Rebuild result). opts selects the execution mode and engine of the
+// re-run steps; a zero Mode inherits prev's. When a phase's dirty
+// frontier exceeds MaxAffectedFraction of n, Rebuild falls back to a
+// full Build of the patched graph (Result.Incremental reports which
+// path produced the result). The fallback restarts the metrics stream:
+// an OnStep consumer sees the partial incremental phases again as full
+// ones.
+func Rebuild(ctx context.Context, prev *Result, batch *delta.Batch, opts Options) (*Result, error) {
+	if prev == nil || prev.Rebuild == nil {
+		return nil, fmt.Errorf("core: Rebuild requires a result built with Options.KeepRebuildState")
+	}
+	st := prev.Rebuild
+	g2, err := delta.Apply(st.Graph, batch)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mode == 0 {
+		opts.Mode = prev.Mode
+	}
+	opts.KeepRebuildState = true
+	p := st.Params
+
+	frac := opts.MaxAffectedFraction
+	if frac == 0 {
+		frac = DefaultMaxAffectedFraction
+	}
+	maxTracked := 0 // unlimited
+	if frac < 1 {
+		maxTracked = int(frac * float64(g2.N()))
+		if maxTracked < 1 {
+			maxTracked = 1
+		}
+	}
+	seeds := batch.Endpoints() // batch is normalized by Apply
+
+	hook := func(ctx context.Context, phase int, centers []int) (protocols.NNResult, protocols.NNTranscript, int, bool, error) {
+		if err := ctx.Err(); err != nil {
+			return protocols.NNResult{}, protocols.NNTranscript{}, 0, false, err
+		}
+		if phase >= len(st.Phases) {
+			// Same params, same n: the phase schedule cannot differ.
+			return protocols.NNResult{}, protocols.NNTranscript{}, 0, false,
+				fmt.Errorf("core: rebuild state has %d phases, build reached phase %d", len(st.Phases), phase)
+		}
+		pr := &st.Phases[phase]
+		d, ok := delta.DiffNN(g2, &pr.NN, &pr.Transcript, centers, pr.Centers, seeds,
+			p.Deg[phase], p.Delta[phase], maxTracked)
+		if !ok {
+			return protocols.NNResult{}, protocols.NNTranscript{}, 0, false, errAffectedTooLarge
+		}
+		return d.NN, d.Transcript, d.Tracked, true, nil
+	}
+
+	res, err := buildWith(ctx, g2, p, opts, hook)
+	if err != nil {
+		if !errors.Is(err, errAffectedTooLarge) {
+			return nil, err
+		}
+		res, err = buildWith(ctx, g2, p, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	res.Incremental = true
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package delta
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"nearspan/internal/gen"
+	"nearspan/internal/graph"
+	"nearspan/internal/protocols"
+)
+
+// randomCenters draws each vertex as a center with probability p.
+func randomCenters(r *rand.Rand, n int, p float64) []int {
+	var cs []int
+	for v := 0; v < n; v++ {
+		if r.Float64() < p {
+			cs = append(cs, v)
+		}
+	}
+	return cs
+}
+
+// requireNNEqual compares two NN tables row by row (keys, distances,
+// ports, popularity) and the transcripts phase by phase.
+func requireNNEqual(t *testing.T, tag string, n int, delta int32,
+	got protocols.NNResult, gotT protocols.NNTranscript,
+	want protocols.NNResult, wantT protocols.NNTranscript) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		gk, gd, gp := got.Row(v)
+		wk, wd, wp := want.Row(v)
+		if !slices.Equal(gk, wk) || !slices.Equal(gd, wd) || !slices.Equal(gp, wp) {
+			t.Fatalf("%s: vertex %d row differs:\n got  %v %v %v\n want %v %v %v",
+				tag, v, gk, gd, gp, wk, wd, wp)
+		}
+		if got.Popular[v] != want.Popular[v] {
+			t.Fatalf("%s: vertex %d popularity differs", tag, v)
+		}
+		for p := int32(1); p < delta; p++ {
+			if !slices.Equal(gotT.ForwardsAt(v, p), wantT.ForwardsAt(v, p)) {
+				t.Fatalf("%s: vertex %d forwards at phase %d differ: %v vs %v",
+					tag, v, p, gotT.ForwardsAt(v, p), wantT.ForwardsAt(v, p))
+			}
+		}
+	}
+}
+
+// DiffNN's spliced table and transcript must be bit-identical to a
+// from-scratch central run on the patched graph — across random graphs,
+// random deltas, random center sets, and center-set changes between the
+// runs.
+func TestDiffNNMatchesFromScratch(t *testing.T) {
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	workloads := []workload{
+		{"gnp", gen.GNP(150, 0.05, 11, true)},
+		{"grid", gen.Grid(12, 12)},
+		{"torus", gen.Torus(10, 10)},
+	}
+	for _, w := range workloads {
+		for seed := int64(1); seed <= 6; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			deg := 2 + r.Intn(4)
+			dl := int32(2 + r.Intn(6))
+			prevCenters := randomCenters(r, w.g.N(), 0.15)
+			prevNN, prevT := protocols.CentralNearNeighborsRec(
+				w.g, prevCenters, deg, dl, protocols.NewTranscriptRecorder(w.g.N()))
+
+			b := randomBatch(r, w.g, 1+r.Intn(6))
+			gNew, err := Apply(w.g, b)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", w.name, seed, err)
+			}
+
+			// Same centers, and a perturbed center set (some vertices
+			// gain or lose centerhood between the runs).
+			centerSets := [][]int{prevCenters}
+			perturbed := slices.Clone(prevCenters)
+			if len(perturbed) > 1 {
+				perturbed = slices.Delete(perturbed, 0, 1)
+			}
+			extra := r.Intn(w.g.N())
+			if !slices.Contains(perturbed, extra) {
+				perturbed = append(perturbed, extra)
+				slices.Sort(perturbed)
+			}
+			centerSets = append(centerSets, perturbed)
+
+			for ci, centers := range centerSets {
+				d, ok := DiffNN(gNew, &prevNN, &prevT, centers, prevCenters,
+					b.Endpoints(), deg, dl, 0)
+				if !ok {
+					t.Fatalf("%s seed %d set %d: unexpected overflow", w.name, seed, ci)
+				}
+				wantNN, wantT := protocols.CentralNearNeighborsRec(
+					gNew, centers, deg, dl, protocols.NewTranscriptRecorder(gNew.N()))
+				tag := w.name
+				requireNNEqual(t, tag, gNew.N(), dl, d.NN, d.Transcript, wantNN, wantT)
+				if d.Tracked <= 0 || d.Tracked > gNew.N() {
+					t.Fatalf("%s seed %d: implausible tracked count %d", tag, seed, d.Tracked)
+				}
+			}
+		}
+	}
+}
+
+// Rebuild state must chain: a second delta diffed against the first
+// diff's spliced output equals a from-scratch run on the doubly patched
+// graph.
+func TestDiffNNChains(t *testing.T) {
+	g0 := gen.GNP(130, 0.06, 23, true)
+	deg, dl := 3, int32(5)
+	for seed := int64(1); seed <= 4; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		centers := randomCenters(r, g0.N(), 0.2)
+		nn, tr := protocols.CentralNearNeighborsRec(
+			g0, centers, deg, dl, protocols.NewTranscriptRecorder(g0.N()))
+		g := g0
+		for step := 0; step < 3; step++ {
+			b := randomBatch(r, g, 1+r.Intn(5))
+			gNew, err := Apply(g, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, ok := DiffNN(gNew, &nn, &tr, centers, centers, b.Endpoints(), deg, dl, 0)
+			if !ok {
+				t.Fatalf("seed %d step %d: unexpected overflow", seed, step)
+			}
+			wantNN, wantT := protocols.CentralNearNeighborsRec(
+				gNew, centers, deg, dl, protocols.NewTranscriptRecorder(gNew.N()))
+			requireNNEqual(t, "chain", gNew.N(), dl, d.NN, d.Transcript, wantNN, wantT)
+			g, nn, tr = gNew, d.NN, d.Transcript
+		}
+	}
+}
+
+// A tiny maxTracked must trip the overflow signal on a batch that
+// perturbs more than one vertex.
+func TestDiffNNOverflow(t *testing.T) {
+	g := gen.Grid(8, 8)
+	deg, dl := 3, int32(4)
+	centers := []int{0, 9, 27, 45, 63}
+	nn, tr := protocols.CentralNearNeighborsRec(
+		g, centers, deg, dl, protocols.NewTranscriptRecorder(g.N()))
+	b := &Batch{Delete: []Edge{{0, 1}, {8, 16}}}
+	gNew, err := Apply(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DiffNN(gNew, &nn, &tr, centers, centers, b.Endpoints(), deg, dl, 2); ok {
+		t.Fatal("DiffNN did not report overflow with maxTracked=2")
+	}
+	if _, ok := DiffNN(gNew, &nn, &tr, centers, centers, b.Endpoints(), deg, dl, 0); !ok {
+		t.Fatal("DiffNN overflowed with unlimited budget")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"nearspan/internal/congest"
 	"nearspan/internal/core"
+	"nearspan/internal/delta"
 	"nearspan/internal/edgeset"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
@@ -315,6 +316,45 @@ func BenchJSON(w io.Writer) error {
 		}
 	})
 
+	// --- Delta regime: incremental rebuild vs from-scratch on the
+	// 10⁶-edge GNP workload. The full build is hand-timed as a single
+	// synthetic row (one build is minutes of compute — testing.Benchmark
+	// would just re-run it); the rebuild row replays an 8-operation
+	// delta (0.0008% of the edges) against the retained state through
+	// testing.Benchmark, asserting it stays on the incremental path.
+	// The pair is the committed form of the tentpole perf claim: rebuild
+	// ns/op must stay an order of magnitude under full-build ns/op.
+	const dn = 65536
+	dprob := 2 * 1_000_000 / (float64(dn) * float64(dn-1))
+	dg := gen.StreamGNP(dn, dprob, 31, true).Graph()
+	dp, err := params.New(1.0/3, 3, 0.34, dg.N())
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	t0 := time.Now()
+	dprev, err := core.Build(context.Background(), dg, dp, core.Options{KeepRebuildState: true})
+	if err != nil {
+		return fmt.Errorf("bench-json: delta full build: %w", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+		Name:       "delta/full-build/gnp-65k-1m",
+		Iterations: 1,
+		NsPerOp:    float64(time.Since(t0).Nanoseconds()),
+	})
+	db := delta.RandomBatch(dg, 4, 31)
+	record("delta/rebuild/gnp-65k-1m-8ops", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := core.Rebuild(context.Background(), dprev, db, core.Options{KeepRebuildState: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Incremental {
+				b.Fatal("delta rebuild fell back to a full build")
+			}
+			benchSink = int32(r.Tracked)
+		}
+	})
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -404,7 +444,7 @@ func FrontierRulingWorkload() (isMember func(v int) bool, q int32, c int) {
 // cannot normalize for). The mean-based oracle rows are gated like
 // every other family.
 var GatedPrefixes = []string{
-	"assembly/", "engine/", "frontier/", "scale/",
+	"assembly/", "engine/", "frontier/", "scale/", "delta/",
 	"oracle/warm-source/", "oracle/batch/", "oracle/point/bidi-",
 }
 

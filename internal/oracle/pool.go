@@ -43,6 +43,7 @@ type Pool struct {
 	misses     atomic.Int64 // point queries answered by bidirectional BFS
 	sourceRuns atomic.Int64 // full single-source BFS runs in a workspace
 	batches    atomic.Int64 // PairsBatch calls
+	paths      atomic.Int64 // Path calls
 }
 
 // PoolStats is a point-in-time snapshot of a pool's counters.
@@ -57,6 +58,8 @@ type PoolStats struct {
 	SourceRuns int64
 	// Batches counts PairsBatch calls.
 	Batches int64
+	// Paths counts Path calls (each runs a bidirectional BFS).
+	Paths int64
 	// CacheFills and CachedSources describe the shared source cache.
 	CacheFills    int64
 	CachedSources int
@@ -102,6 +105,7 @@ func (p *Pool) Stats() PoolStats {
 		Misses:        p.misses.Load(),
 		SourceRuns:    p.sourceRuns.Load(),
 		Batches:       p.batches.Load(),
+		Paths:         p.paths.Load(),
 		CacheFills:    p.cache.fills.Load(),
 		CachedSources: p.cache.cached(),
 	}
@@ -149,6 +153,20 @@ func (p *Pool) Dist(u, v int) int32 {
 	d := r.bidi(u, v)
 	r.mu.Unlock()
 	return d
+}
+
+// Path returns one exact shortest path from u to v in the spanner —
+// both endpoints inclusive, len(path) = dist+1 — and its length. A nil
+// path (distance graph.Infinity) means the endpoints are disconnected.
+// The route is reconstructed from the parents a bidirectional BFS
+// records in a replica workspace; the reported distance is bit-identical
+// to Dist. The slice is the caller's to keep.
+func (p *Pool) Path(u, v int) ([]int32, int32) {
+	p.paths.Add(1)
+	r := p.acquire()
+	path, d := r.path(u, v)
+	r.mu.Unlock()
+	return path, d
 }
 
 // Sources returns the exact spanner distances from u to every vertex.

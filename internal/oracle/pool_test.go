@@ -147,6 +147,64 @@ func TestPoolConcurrentMixedQueriesBitIdentical(t *testing.T) {
 	}
 }
 
+// Path must return a genuine spanner walk: consecutive vertices joined
+// by spanner edges, length exactly dist+1, endpoints in place, and the
+// reported distance bit-identical to Dist / the BFS reference. Checked
+// over the golden spanner and over sparse (often disconnected) graphs.
+func TestPoolPathValid(t *testing.T) {
+	check := func(t *testing.T, h *graph.Graph, pool *Pool, u, v int, want int32) {
+		t.Helper()
+		path, d := pool.Path(u, v)
+		if d != want {
+			t.Fatalf("Path(%d,%d) dist=%d, reference %d", u, v, d, want)
+		}
+		if want == graph.Infinity {
+			if path != nil {
+				t.Fatalf("Path(%d,%d): non-nil path %v for disconnected pair", u, v, path)
+			}
+			return
+		}
+		if len(path) != int(want)+1 {
+			t.Fatalf("Path(%d,%d): len %d, want dist+1 = %d", u, v, len(path), want+1)
+		}
+		if path[0] != int32(u) || path[len(path)-1] != int32(v) {
+			t.Fatalf("Path(%d,%d): endpoints %d..%d", u, v, path[0], path[len(path)-1])
+		}
+		for i := 1; i < len(path); i++ {
+			if !h.HasEdge(int(path[i-1]), int(path[i])) {
+				t.Fatalf("Path(%d,%d): step %d-%d is not a spanner edge", u, v, path[i-1], path[i])
+			}
+		}
+	}
+	t.Run("golden", func(t *testing.T) {
+		h := goldenSpanner(t, core.ModeCentralized, congest.EngineSequential)
+		ref := refLevels(h)
+		pool := NewPool(h, PoolOptions{Replicas: 2, CacheSources: 4})
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 400; i++ {
+			u, v := r.Intn(h.N()), r.Intn(h.N())
+			check(t, h, pool, u, v, ref[u][v])
+		}
+		check(t, h, pool, 17, 17, 0)
+		if st := pool.Stats(); st.Paths != 401 {
+			t.Errorf("Paths counter %d, want 401", st.Paths)
+		}
+	})
+	t.Run("sparse", func(t *testing.T) {
+		for seed := uint64(1); seed <= 8; seed++ {
+			n := 50 + int(seed)*11
+			g := gen.GNP(n, 2.0/float64(n), seed, false)
+			pool := NewPool(g, PoolOptions{Replicas: 1, CacheSources: -1})
+			for u := 0; u < n; u += 4 {
+				lv := g.BFS(u)
+				for v := 0; v < n; v += 3 {
+					check(t, g, pool, u, v, lv[v])
+				}
+			}
+		}
+	})
+}
+
 // Property check for the bidirectional fast path: across random graphs
 // (including disconnected ones), bidi must equal the full BFS distance
 // for every sampled pair.

@@ -59,7 +59,12 @@ type replica struct {
 
 	fwd, bwd stamped // forward / backward level arrays
 	qf, qb   []int32 // frontier queues (head-indexed, capacity n)
-	ready    bool
+	// Parent vertices, parallel to fwd/bwd and validated by the same
+	// generation stamps: pf[w] is the vertex that labeled w in the
+	// forward expansion, pb[w] in the backward one. Recorded on every
+	// label (one extra store) so any bidi run can reconstruct the route.
+	pf, pb []int32
+	ready  bool
 }
 
 // ensure performs the one-time workspace allocation. Deferred to first
@@ -74,6 +79,8 @@ func (r *replica) ensure() {
 	r.bwd.init(n)
 	r.qf = make([]int32, 0, n)
 	r.qb = make([]int32, 0, n)
+	r.pf = make([]int32, n)
+	r.pb = make([]int32, n)
 	r.ready = true
 }
 
@@ -119,8 +126,16 @@ func (r *replica) materialize() []int32 {
 // BFS touches on expander-like spanners, and answers are bit-identical
 // to fwd-BFS levels (both are the exact distance in the spanner).
 func (r *replica) bidi(u, v int) int32 {
+	d, _ := r.bidiMeet(u, v)
+	return d
+}
+
+// bidiMeet is the bidirectional expansion; it additionally returns the
+// meeting vertex of the best candidate (-1 when disconnected or u == v),
+// from which path reconstructs the route via the recorded parents.
+func (r *replica) bidiMeet(u, v int) (int32, int32) {
 	if u == v {
-		return 0
+		return 0, -1
 	}
 	r.ensure()
 	r.fwd.reset()
@@ -133,17 +148,21 @@ func (r *replica) bidi(u, v int) int32 {
 	fStart, bStart := 0, 0 // current level = q[start:len]
 	df, db := int32(0), int32(0)
 	best := graph.Infinity
+	meet := int32(-1)
 	for fStart < len(qf) && bStart < len(qb) && best > df+db {
 		if len(qf)-fStart <= len(qb)-bStart {
 			end := len(qf)
 			for i := fStart; i < end; i++ {
-				for _, w := range r.g.Neighbors(int(qf[i])) {
+				x := qf[i]
+				for _, w := range r.g.Neighbors(int(x)) {
 					if r.fwd.gen[w] != r.fwd.cur {
 						r.fwd.set(w, df+1)
+						r.pf[w] = x
 						qf = append(qf, w)
 						if r.bwd.gen[w] == r.bwd.cur {
 							if c := df + 1 + r.bwd.dist[w]; c < best {
 								best = c
+								meet = w
 							}
 						}
 					}
@@ -154,13 +173,16 @@ func (r *replica) bidi(u, v int) int32 {
 		} else {
 			end := len(qb)
 			for i := bStart; i < end; i++ {
-				for _, w := range r.g.Neighbors(int(qb[i])) {
+				x := qb[i]
+				for _, w := range r.g.Neighbors(int(x)) {
 					if r.bwd.gen[w] != r.bwd.cur {
 						r.bwd.set(w, db+1)
+						r.pb[w] = x
 						qb = append(qb, w)
 						if r.fwd.gen[w] == r.fwd.cur {
 							if c := db + 1 + r.fwd.dist[w]; c < best {
 								best = c
+								meet = w
 							}
 						}
 					}
@@ -171,5 +193,37 @@ func (r *replica) bidi(u, v int) int32 {
 		}
 	}
 	r.qf, r.qb = qf[:0], qb[:0]
-	return best
+	if best == graph.Infinity {
+		meet = -1
+	}
+	return best, meet
+}
+
+// path returns one exact shortest u–v path in the spanner (inclusive of
+// both endpoints, len = dist+1) and its length, reconstructed from the
+// parents of a bidirectional run: forward parents walk the meet vertex
+// back to u, backward parents walk it on to v. A nil path means the
+// endpoints are disconnected.
+func (r *replica) path(u, v int) ([]int32, int32) {
+	if u == v {
+		return []int32{int32(u)}, 0
+	}
+	d, meet := r.bidiMeet(u, v)
+	if d == graph.Infinity {
+		return nil, d
+	}
+	rev := make([]int32, 0, d)
+	for x := meet; x != int32(u); x = r.pf[x] {
+		rev = append(rev, x)
+	}
+	path := make([]int32, 0, d+1)
+	path = append(path, int32(u))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	for x := meet; x != int32(v); {
+		x = r.pb[x]
+		path = append(path, x)
+	}
+	return path, d
 }

@@ -71,6 +71,12 @@ type NearNeighbors struct {
 	buffer map[int64]hearing // centers heard during the current phase
 	queue  []int64           // forward queue for the current phase
 	qdist  int32             // distance carried by this phase's forwards
+
+	// rec, when non-nil, receives this vertex's per-phase forward
+	// selections (the delta-rebuild transcript). Each program instance
+	// writes only its own vertex's row, so the shared recorder is safe
+	// under the sharded engines.
+	rec *TranscriptRecorder
 }
 
 // hearing records the best (smallest sender ID) announcement of a center
@@ -86,8 +92,14 @@ var _ congest.Program = (*NearNeighbors)(nil)
 // NewNearNeighbors returns the program factory for the given center set,
 // popularity threshold deg, and radius delta.
 func NewNearNeighbors(isCenter func(v int) bool, deg int, delta int32) func(v int) congest.Program {
+	return NewNearNeighborsRec(isCenter, deg, delta, nil)
+}
+
+// NewNearNeighborsRec is NewNearNeighbors with optional forward-
+// transcript recording (nil rec disables it).
+func NewNearNeighborsRec(isCenter func(v int) bool, deg int, delta int32, rec *TranscriptRecorder) func(v int) congest.Program {
 	return func(v int) congest.Program {
-		return &NearNeighbors{IsCenter: isCenter(v), Deg: deg, Delta: delta}
+		return &NearNeighbors{IsCenter: isCenter(v), Deg: deg, Delta: delta, rec: rec}
 	}
 }
 
@@ -137,7 +149,7 @@ func (nn *NearNeighbors) Round(env *congest.Env, recv []congest.Inbound) {
 	// 1. Phase start: process the previous phase's hearings. Phase p
 	// starts at round (p-1)*phaseLen+2, so the hearings carry distance p.
 	if sending && slot == 0 {
-		nn.finalize(int32((env.Round()-2)/phaseLen) + 1)
+		nn.finalize(env.ID(), int32((env.Round()-2)/phaseLen)+1)
 	}
 
 	// 2. Buffer this round's arrivals (all hearings of a phase carry the
@@ -167,30 +179,32 @@ func (nn *NearNeighbors) Round(env *congest.Env, recv []congest.Inbound) {
 // traversed distance is dist: store first-heard centers smallest-ID-first
 // up to the storage cap, and select up to Deg heard centers (known or
 // not) as the next phase's forwards.
-func (nn *NearNeighbors) finalize(dist int32) {
+func (nn *NearNeighbors) finalize(v int, dist int32) {
 	nn.queue = nn.queue[:0]
-	if len(nn.buffer) == 0 {
-		return
-	}
-	ids := make([]int64, 0, len(nn.buffer))
-	for c := range nn.buffer {
-		ids = append(ids, c)
-	}
-	slices.Sort(ids)
-	for _, c := range ids {
-		// Forward set: first Deg+1 heard, independent of storage.
-		if len(nn.queue) < nn.forwardBudget() && dist < nn.Delta {
-			nn.queue = append(nn.queue, c)
+	if len(nn.buffer) > 0 {
+		ids := make([]int64, 0, len(nn.buffer))
+		for c := range nn.buffer {
+			ids = append(ids, c)
 		}
-		// Storage: first Deg ever learned.
-		if _, known := nn.Known[c]; !known && len(nn.Known) < nn.Deg {
-			h := nn.buffer[c]
-			nn.Known[c] = dist
-			nn.Via[c] = h.port
+		slices.Sort(ids)
+		for _, c := range ids {
+			// Forward set: first Deg+1 heard, independent of storage.
+			if len(nn.queue) < nn.forwardBudget() && dist < nn.Delta {
+				nn.queue = append(nn.queue, c)
+			}
+			// Storage: first Deg ever learned.
+			if _, known := nn.Known[c]; !known && len(nn.Known) < nn.Deg {
+				h := nn.buffer[c]
+				nn.Known[c] = dist
+				nn.Via[c] = h.port
+			}
 		}
+		nn.buffer = make(map[int64]hearing)
+	}
+	if nn.rec != nil && dist < nn.Delta {
+		nn.rec.Set(v, dist, nn.queue)
 	}
 	nn.qdist = dist
-	nn.buffer = make(map[int64]hearing)
 }
 
 func nnMsg(center int64, dist int32) congest.Message {
@@ -216,6 +230,23 @@ type NNResult struct {
 func (r *NNResult) Known(v int) (centers []int64, dist []int32) {
 	lo, hi := r.off[v], r.off[v+1]
 	return r.keys[lo:hi], r.Dist[lo:hi]
+}
+
+// Row returns v's full table row — known center IDs (ascending),
+// distances, and Via ports as parallel slices aliasing the table. This
+// is the read face of the delta-rebuild splice: clean vertices' rows are
+// copied verbatim into the rebuilt table.
+func (r *NNResult) Row(v int) (keys []int64, dist []int32, ports []int32) {
+	lo, hi := r.off[v], r.off[v+1]
+	return r.keys[lo:hi], r.Dist[lo:hi], r.ports[lo:hi]
+}
+
+// SpliceNNResult assembles an NNResult directly from flat columnar
+// arrays (off is the n+1 CSR offset array; keys must be ascending within
+// each vertex's run, dist and ports parallel to keys). It is the write
+// face of the delta-rebuild splice; the arrays are adopted, not copied.
+func SpliceNNResult(off []int32, keys []int64, dist []int32, ports []int32, popular []bool) NNResult {
+	return NNResult{Routing: Routing{off: off, keys: keys, ports: ports}, Dist: dist, Popular: popular}
 }
 
 // DistTo returns v's stored distance to center c, if stored.

@@ -24,6 +24,17 @@ import (
 // entries — the same rules, in the same order, as the distributed
 // protocol.
 func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) NNResult {
+	nn, _ := CentralNearNeighborsRec(g, centers, deg, delta, nil)
+	return nn
+}
+
+// CentralNearNeighborsRec is CentralNearNeighbors with optional forward-
+// transcript recording: when rec is non-nil, every vertex's per-phase
+// forward selections are recorded and the finished transcript returned
+// (zero-value otherwise). The recorded segments are identical to those a
+// distributed run with the same inputs records — the forward selections
+// are bit-equal across modes, and the encoder is shared.
+func CentralNearNeighborsRec(g *graph.Graph, centers []int, deg int, delta int32, rec *TranscriptRecorder) (NNResult, NNTranscript) {
 	n := g.N()
 	known := make([]map[int64]int32, n)
 	via := make([]map[int64]int, n)
@@ -59,6 +70,7 @@ func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) N
 		}
 	}
 
+	var scratch []int64 // one vertex's forward list, reused across vertices
 	for p := int32(1); p <= delta; p++ {
 		// Process phase-p hearings (distance p), then deliver forwards.
 		type fwd struct {
@@ -75,17 +87,22 @@ func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) N
 				ids = append(ids, c)
 			}
 			slices.Sort(ids)
-			queued := 0
+			scratch = scratch[:0]
 			for _, c := range ids {
-				if queued < deg+1 && p < delta {
-					forwards = append(forwards, fwd{v: v, c: c})
-					queued++
+				if len(scratch) < deg+1 && p < delta {
+					scratch = append(scratch, c)
 				}
 				if _, stored := known[v][c]; !stored && len(known[v]) < deg {
 					h := buffer[v][c]
 					known[v][c] = p
 					via[v][c] = h.port
 				}
+			}
+			for _, c := range scratch {
+				forwards = append(forwards, fwd{v: v, c: c})
+			}
+			if rec != nil && p < delta {
+				rec.Set(v, p, scratch)
 			}
 			buffer[v] = make(map[int64]hearing)
 		}
@@ -104,7 +121,11 @@ func CentralNearNeighbors(g *graph.Graph, centers []int, deg int, delta int32) N
 	for v := 0; v < n; v++ {
 		popular[v] = isCenter[v] && len(known[v]) >= deg
 	}
-	return buildNNResult(n, known, via, popular)
+	var tr NNTranscript
+	if rec != nil {
+		tr = rec.Finish(delta - 1)
+	}
+	return buildNNResult(n, known, via, popular), tr
 }
 
 // TracePath follows Via pointers from v toward center c using the

@@ -33,6 +33,13 @@ type StepMetrics struct {
 	Rounds          int
 	Messages        int64
 	MaxRoundTraffic int64
+
+	// Replayed marks a step whose output the delta-rebuild engine
+	// spliced from a previous build's state instead of re-running the
+	// protocol. Replayed steps still report their schedule rounds (a
+	// rebuilt job fits the same per-job round cap as a full build) but
+	// moved no messages.
+	Replayed bool
 }
 
 // Network is a persistent CONGEST runtime: one simulator constructed
@@ -131,6 +138,22 @@ func (n *Network) record(sm StepMetrics) {
 // schedule still charges its round budget, but no simulation ran.
 func (n *Network) RecordIdle(phase int, step string, rounds int) {
 	n.record(StepMetrics{Phase: phase, Step: step, Rounds: rounds})
+}
+
+// RecordReplayed appends a metrics entry for a step whose output the
+// delta rebuild spliced from a previous build. Unlike RecordIdle it
+// charges the step's schedule rounds against the network's round budget
+// — a rebuilt job must fit the same per-job round cap as a full build —
+// and fails with *congest.ErrBudgetExhausted when they do not fit.
+func (n *Network) RecordReplayed(phase int, step string, rounds int) error {
+	if rem := n.remaining(); rounds > rem {
+		n.used += rem
+		return fmt.Errorf("protocols: %s step (phase %d, replayed): %w", step, phase,
+			&congest.ErrBudgetExhausted{MaxRounds: n.budget})
+	}
+	n.used += rounds
+	n.record(StepMetrics{Phase: phase, Step: step, Rounds: rounds, Replayed: true})
+	return nil
 }
 
 // Close releases the simulator's goroutine-engine workers, if any (see
@@ -247,8 +270,16 @@ func (s *Session) finish() error {
 // RunNearNeighbors executes Algorithm 1 (popularity detection) as a
 // session and returns the per-vertex result plus the consumed rounds.
 func RunNearNeighbors(ctx context.Context, net *Network, phase int, isCenter func(v int) bool, deg int, delta int32) (NNResult, int, error) {
+	return RunNearNeighborsRec(ctx, net, phase, isCenter, deg, delta, nil)
+}
+
+// RunNearNeighborsRec is RunNearNeighbors with optional forward-
+// transcript recording: when rec is non-nil, every vertex's per-phase
+// forward selections are recorded into it (the caller finishes the
+// recorder). Recording does not change the protocol's traffic or result.
+func RunNearNeighborsRec(ctx context.Context, net *Network, phase int, isCenter func(v int) bool, deg int, delta int32, rec *TranscriptRecorder) (NNResult, int, error) {
 	rounds := NearNeighborsRounds(deg, delta)
-	if err := net.Session(phase, StepNearNeighbors, kindNN).Run(ctx, NewNearNeighbors(isCenter, deg, delta), rounds); err != nil {
+	if err := net.Session(phase, StepNearNeighbors, kindNN).Run(ctx, NewNearNeighborsRec(isCenter, deg, delta, rec), rounds); err != nil {
 		return NNResult{}, 0, err
 	}
 	return ExtractNN(net.sim), rounds, nil

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"nearspan/internal/delta"
 	"nearspan/internal/graph"
 	"nearspan/internal/protocols"
 )
@@ -37,10 +38,21 @@ import (
 //	                          closing with a summary record.
 //	GET  /v1/jobs/{id}/query  answer one distance query (?u=&v=) from the
 //	                          job's spanner; 404 until the job is done,
-//	                          400 on bad or out-of-range vertices.
+//	                          400 on bad or out-of-range vertices. With
+//	                          ?path=1 the answer also carries one exact
+//	                          shortest path in the spanner.
 //	POST /v1/jobs/{id}/query  batch queries: NDJSON lines {"u":..,"v":..}
 //	                          in, NDJSON answers out, grouped by source
 //	                          internally so hot sources share one BFS.
+//	PATCH /v1/jobs/{id}/edges apply an edge delta: NDJSON lines
+//	                          {"op":"insert"|"delete","u":..,"v":..}.
+//	                          The spanner is rebuilt incrementally
+//	                          (bit-identical to a from-scratch build of
+//	                          the patched graph) and the query pool is
+//	                          swapped atomically; 200 with the updated
+//	                          job document, 404 until the job is done,
+//	                          409 when the delta disagrees with the
+//	                          graph, 503 while draining.
 //	GET  /healthz             200 ok, 503 once draining.
 //	GET  /metrics             Prometheus text exposition.
 func (s *Server) Handler() http.Handler {
@@ -52,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/jobs/{id}/query", s.handleQueryBatch)
+	mux.HandleFunc("PATCH /v1/jobs/{id}/edges", s.handleEdgesPatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -335,13 +348,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // queryAnswer is one distance answer. Dist is -1 when the endpoints are
 // disconnected in the spanner; alpha and beta restate the job's
 // (1+eps', beta) guarantee so a client can bound the true graph
-// distance from the spanner answer.
+// distance from the spanner answer. Path (with ?path=1) is one exact
+// shortest route in the spanner, endpoints inclusive, absent when
+// disconnected.
 type queryAnswer struct {
 	U     int     `json:"u"`
 	V     int     `json:"v"`
 	Dist  int32   `json:"dist"`
 	Alpha float64 `json:"alpha,omitempty"`
 	Beta  int32   `json:"beta,omitempty"`
+	Path  []int32 `json:"path,omitempty"`
 }
 
 // wireDist maps graph.Infinity to the JSON-friendly -1.
@@ -397,10 +413,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	d := job.QueryPool().Dist(u, v)
+	var (
+		d    int32
+		path []int32
+	)
+	if r.URL.Query().Get("path") != "" {
+		path, d = job.QueryPool().Path(u, v)
+	} else {
+		d = job.QueryPool().Dist(u, v)
+	}
 	s.met.observeQuery(1, false, time.Since(start))
 	alpha, beta := job.Guarantee()
-	writeJSON(w, http.StatusOK, queryAnswer{U: u, V: v, Dist: wireDist(d), Alpha: alpha, Beta: beta})
+	writeJSON(w, http.StatusOK, queryAnswer{U: u, V: v, Dist: wireDist(d), Alpha: alpha, Beta: beta, Path: path})
+}
+
+// handleEdgesPatch applies one NDJSON edge-delta batch to a finished
+// job (see Handler's route table for the contract).
+func (s *Server) handleEdgesPatch(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var batch delta.Batch
+	for line := 1; ; line++ {
+		var op struct {
+			Op string `json:"op"`
+			U  *int32 `json:"u"`
+			V  *int32 `json:"v"`
+		}
+		if err := dec.Decode(&op); err == io.EOF {
+			break
+		} else if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("op %d: %v", line, err)})
+			return
+		}
+		if op.U == nil || op.V == nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("op %d: missing u or v", line)})
+			return
+		}
+		e := delta.Edge{U: *op.U, V: *op.V}
+		switch op.Op {
+		case "insert":
+			batch.Insert = append(batch.Insert, e)
+		case "delete":
+			batch.Delete = append(batch.Delete, e)
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("op %d: unknown op %q (want insert|delete)", line, op.Op)})
+			return
+		}
+	}
+	if batch.Size() == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty delta: no operations"})
+		return
+	}
+	if jerr := s.RebuildJob(job, &batch); jerr != nil {
+		writeJSON(w, jerr.HTTPStatus, apiError{Error: jerr.Message})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
 }
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {

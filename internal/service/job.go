@@ -131,7 +131,11 @@ const (
 
 // JobResult summarizes a completed build. Fingerprint is
 // graph.Fingerprint of the spanner — two builds agree bit for bit
-// exactly when their fingerprints (and edge counts) agree.
+// exactly when their fingerprints (and edge counts) agree. After a
+// PATCH …/edges rebuild the document describes the latest spanner:
+// Deltas counts the applied batches, Incremental reports whether the
+// last rebuild took the frontier-scoped path or fell back to a full
+// build, and BuildMS is the last (re)build's wall clock.
 type JobResult struct {
 	Edges       int    `json:"edges"`
 	TotalRounds int    `json:"total_rounds"`
@@ -139,6 +143,8 @@ type JobResult struct {
 	Fingerprint string `json:"fingerprint"`
 	ArenaBytes  int64  `json:"arena_bytes"`
 	BuildMS     int64  `json:"build_ms"`
+	Deltas      int    `json:"deltas,omitempty"`
+	Incremental bool   `json:"incremental,omitempty"`
 }
 
 // JobError is the structured terminal error of a failed or cancelled
@@ -201,6 +207,12 @@ type Job struct {
 	// replay buffer for late subscribers.
 	fan protocols.StepFanout
 
+	// patchMu serializes PATCH …/edges rebuilds: one delta applies at a
+	// time, and each rebuild reads the state the previous one installed.
+	// It is never held while answering queries — readers see either the
+	// old snapshot or the new one, swapped atomically under mu.
+	patchMu sync.Mutex
+
 	mu         sync.Mutex
 	state      string
 	submitted  time.Time
@@ -209,6 +221,7 @@ type Job struct {
 	result     *JobResult
 	jobErr     *JobError
 	pool       *oracle.Pool // query tier over the built spanner; set with result
+	buildRes   *core.Result // retained build (with rebuild state) deltas replay against
 	cancel     context.CancelFunc
 	done       chan struct{} // closed on terminal state
 	timeout    time.Duration // resolved wall-clock limit (0 = none)
@@ -312,22 +325,47 @@ func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) (alreadyCance
 	return false
 }
 
-func (j *Job) finishOK(res *JobResult, pool *oracle.Pool, now time.Time) {
+func (j *Job) finishOK(res *JobResult, pool *oracle.Pool, build *core.Result, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateDone
 	j.result = res
 	j.pool = pool
+	j.buildRes = build
 	j.finished = now
 	close(j.done)
 }
 
 // QueryPool returns the job's distance-query pool, or nil while the job
 // has not finished with a spanner (queued, running, failed, cancelled).
+// After a delta rebuild it returns the pool over the latest spanner.
 func (j *Job) QueryPool() *oracle.Pool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.pool
+}
+
+// rebuildBase snapshots the retained build a delta replays against
+// (nil until the job is done). Callers hold patchMu across the whole
+// read-rebuild-swap cycle, so the snapshot cannot go stale under them.
+func (j *Job) rebuildBase() *core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buildRes
+}
+
+// swapSpanner atomically installs a rebuilt spanner: the patched graph,
+// the updated result document, the fresh query pool, and the rebuild
+// state the next delta chains from. The old pool is not closed — it
+// owns no goroutines, and queries in flight on it finish against their
+// (still immutable) old snapshot before it is collected.
+func (j *Job) swapSpanner(g *graph.Graph, res *JobResult, pool *oracle.Pool, build *core.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.g = g
+	j.result = res
+	j.pool = pool
+	j.buildRes = build
 }
 
 // Guarantee returns the (alpha, beta) error bound every query answer
@@ -336,8 +374,14 @@ func (j *Job) Guarantee() (alpha float64, beta int32) {
 	return 1 + j.p.EpsPrime(), j.p.BetaInt()
 }
 
-// GraphN returns the job graph's vertex count (query bounds).
-func (j *Job) GraphN() int { return j.g.N() }
+// GraphN returns the job graph's vertex count (query bounds). Deltas
+// never add or remove vertices, but the graph pointer itself is swapped
+// on rebuild, so the read takes the lock.
+func (j *Job) GraphN() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.g.N()
+}
 
 func (j *Job) finishErr(jerr *JobError, now time.Time) {
 	j.mu.Lock()

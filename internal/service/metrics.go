@@ -25,8 +25,11 @@ type metrics struct {
 	steps      atomic.Int64 // protocol steps completed
 	rounds     atomic.Int64 // simulated rounds executed (rate() = rounds/sec)
 	messages   atomic.Int64 // simulated messages sent
-	builds     atomic.Int64 // builds attempted (duration denominator)
+	builds     atomic.Int64 // builds attempted, rebuilds included (duration denominator)
 	buildNanos atomic.Int64 // cumulative wall-clock build time
+
+	rebuilds         atomic.Int64 // PATCH edge-delta rebuilds attempted
+	rebuildFallbacks atomic.Int64 // rebuilds that fell back to a full build
 
 	arenaHighWater atomic.Int64 // largest per-build arena footprint seen
 
@@ -130,6 +133,11 @@ func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats) str
 	fmt.Fprintf(&sb, "spannerd_build_seconds_sum %g\n", float64(m.buildNanos.Load())/1e9)
 	fmt.Fprintf(&sb, "spannerd_build_seconds_count %d\n", m.builds.Load())
 
+	counter("spannerd_rebuilds_total", "Edge-delta rebuilds attempted (PATCH .../edges).", m.rebuilds.Load())
+	counter("spannerd_rebuild_fallbacks_total",
+		"Delta rebuilds whose dirty frontier exceeded the threshold and fell back to a full build.",
+		m.rebuildFallbacks.Load())
+
 	// Query tier: rate(spannerd_queries_total) is the served qps; the
 	// source-cache hit rate is 1 - misses/queries.
 	counter("spannerd_queries_total", "Distance queries answered (single and batched).", m.queries.Load())
@@ -138,6 +146,7 @@ func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats) str
 		"Point queries that missed the source cache and ran a bidirectional BFS.", qp.Misses)
 	counter("spannerd_query_source_bfs_total",
 		"Full single-source BFS runs in query workspaces (cache fills, Sources, batch groups).", qp.SourceRuns)
+	counter("spannerd_query_paths_total", "Path queries answered (bidirectional BFS with parent tracking).", qp.Paths)
 	counter("spannerd_query_cache_fills_total", "Source-cache fills across all job pools.", qp.CacheFills)
 	gauge("spannerd_query_cached_sources", "Sources resident in job query caches.", int64(qp.CachedSources))
 	fmt.Fprintf(&sb, "# HELP spannerd_query_seconds Query request latency (log2-bucketed quantiles).\n# TYPE spannerd_query_seconds summary\n")

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"nearspan/internal/core"
+	"nearspan/internal/delta"
 	"nearspan/internal/graph"
 	"nearspan/internal/oracle"
 	"nearspan/internal/protocols"
@@ -270,18 +271,7 @@ func (s *Server) runJob(job *Job) {
 
 	s.met.active.Add(1)
 	start := time.Now()
-	res, err := core.Build(ctx, job.g, job.p, core.Options{
-		Mode:        job.mode,
-		Engine:      job.engine,
-		Runtime:     s.rt,
-		RoundBudget: job.Spec.MaxRounds,
-		OnStep: func(sm protocols.StepMetrics) {
-			s.met.steps.Add(1)
-			s.met.rounds.Add(int64(sm.Rounds))
-			s.met.messages.Add(sm.Messages)
-			job.fan.Emit(sm)
-		},
-	})
+	res, err := core.Build(ctx, job.g, job.p, s.buildOptions(job))
 	dur := time.Since(start)
 	s.met.active.Add(-1)
 	s.met.buildNanos.Add(int64(dur))
@@ -300,10 +290,6 @@ func (s *Server) runJob(job *Job) {
 	m, fp := graph.Fingerprint(res.Spanner)
 	s.met.highWater(res.ArenaBytes)
 	// The spanner is immutable from here on: hand it to the query tier.
-	pool := oracle.NewPool(res.Spanner, oracle.PoolOptions{
-		Replicas:     s.opts.QueryReplicas,
-		CacheSources: s.opts.QueryCacheSources,
-	})
 	job.finishOK(&JobResult{
 		Edges:       m,
 		TotalRounds: res.TotalRounds,
@@ -311,8 +297,118 @@ func (s *Server) runJob(job *Job) {
 		Fingerprint: fp,
 		ArenaBytes:  res.ArenaBytes,
 		BuildMS:     dur.Milliseconds(),
-	}, pool, time.Now())
+	}, s.newPool(res), res, time.Now())
 	s.met.done.Add(1)
+}
+
+// buildOptions is the one place job limits and the metrics fan-out turn
+// into core.Options — builds and delta rebuilds must execute under the
+// same runtime, budget, and step stream. KeepRebuildState retains the
+// per-phase near-neighbors tables (memory comparable to the graph) so
+// every done job accepts PATCH …/edges without re-running from scratch.
+func (s *Server) buildOptions(job *Job) core.Options {
+	return core.Options{
+		Mode:             job.mode,
+		Engine:           job.engine,
+		Runtime:          s.rt,
+		RoundBudget:      job.Spec.MaxRounds,
+		KeepRebuildState: true,
+		OnStep: func(sm protocols.StepMetrics) {
+			s.met.steps.Add(1)
+			s.met.rounds.Add(int64(sm.Rounds))
+			s.met.messages.Add(sm.Messages)
+			job.fan.Emit(sm)
+		},
+	}
+}
+
+func (s *Server) newPool(res *core.Result) *oracle.Pool {
+	return oracle.NewPool(res.Spanner, oracle.PoolOptions{
+		Replicas:     s.opts.QueryReplicas,
+		CacheSources: s.opts.QueryCacheSources,
+	})
+}
+
+// RebuildJob applies one edge-delta batch to a done job: it rebuilds
+// the spanner incrementally from the job's retained state (core.Rebuild
+// — bit-identical to a from-scratch build of the patched graph) and
+// atomically swaps in the patched graph, the updated result document,
+// and a fresh query pool. Queries in flight during the rebuild answer
+// from the old snapshot; queries that start after the swap see the new
+// one. Batches serialize per job; concurrent PATCHes queue.
+//
+// The returned *JobError (nil on success) carries the HTTP status:
+// 404 while the job has no spanner, 409 when the batch disagrees with
+// the current graph, 400 when it is malformed, 503 while draining.
+func (s *Server) RebuildJob(job *Job, b *delta.Batch) *JobError {
+	if s.draining.Load() {
+		return &JobError{Kind: "draining", Message: ErrDraining.Error(), HTTPStatus: 503}
+	}
+	job.patchMu.Lock()
+	defer job.patchMu.Unlock()
+
+	prev := job.rebuildBase()
+	if prev == nil {
+		return &JobError{Kind: "not-ready", Message: "job has no spanner to patch (not finished)", HTTPStatus: 404}
+	}
+	// Validate up front against the graph the delta claims to patch so a
+	// disagreeing batch is a clean 409, not a failed build. patchMu makes
+	// the check-then-rebuild atomic: nothing else swaps the graph under us.
+	g := prev.Rebuild.Graph
+	if err := b.Normalize(g.N()); err != nil {
+		return &JobError{Kind: "bad-request", Message: err.Error(), HTTPStatus: 400}
+	}
+	for _, e := range b.Insert {
+		if g.HasEdge(int(e.U), int(e.V)) {
+			return &JobError{Kind: "conflict", Message: fmt.Sprintf("insert edge {%d,%d} already present", e.U, e.V), HTTPStatus: 409}
+		}
+	}
+	for _, e := range b.Delete {
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			return &JobError{Kind: "conflict", Message: fmt.Sprintf("delete edge {%d,%d} not present", e.U, e.V), HTTPStatus: 409}
+		}
+	}
+
+	// The rebuild runs under the drain umbrella (buildCancel aborts it at
+	// a round boundary) and the job's wall-clock limit, like any build.
+	ctx := s.buildCtx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	s.met.active.Add(1)
+	start := time.Now()
+	res, err := core.Rebuild(ctx, prev, b, s.buildOptions(job))
+	dur := time.Since(start)
+	s.met.active.Add(-1)
+	s.met.buildNanos.Add(int64(dur))
+	s.met.builds.Add(1)
+	s.met.rebuilds.Add(1)
+	if err != nil {
+		// The job keeps its current spanner; only the patch fails.
+		return classifyErr(err)
+	}
+	if !res.Incremental {
+		s.met.rebuildFallbacks.Add(1)
+	}
+
+	m, fp := graph.Fingerprint(res.Spanner)
+	s.met.highWater(res.ArenaBytes)
+	job.mu.Lock()
+	deltas := job.result.Deltas + 1
+	job.mu.Unlock()
+	job.swapSpanner(res.Rebuild.Graph, &JobResult{
+		Edges:       m,
+		TotalRounds: res.TotalRounds,
+		Messages:    res.Messages,
+		Fingerprint: fp,
+		ArenaBytes:  res.ArenaBytes,
+		BuildMS:     dur.Milliseconds(),
+		Deltas:      deltas,
+		Incremental: res.Incremental,
+	}, s.newPool(res), res)
+	return nil
 }
 
 // queryPoolStats aggregates the per-job query-pool counters for
@@ -324,6 +420,7 @@ func (s *Server) queryPoolStats() (agg oracle.PoolStats) {
 			agg.Misses += st.Misses
 			agg.SourceRuns += st.SourceRuns
 			agg.Batches += st.Batches
+			agg.Paths += st.Paths
 			agg.CacheFills += st.CacheFills
 			agg.CachedSources += st.CachedSources
 		}

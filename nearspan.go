@@ -34,6 +34,7 @@ import (
 	"nearspan/internal/baseline"
 	"nearspan/internal/congest"
 	"nearspan/internal/core"
+	"nearspan/internal/delta"
 	"nearspan/internal/gen"
 	"nearspan/internal/graph"
 	"nearspan/internal/oracle"
@@ -146,6 +147,16 @@ type Config struct {
 	// histogram at the cut, in DistributedMode). This is the per-job
 	// round cap of the build service.
 	RoundBudget int
+	// KeepRebuildState retains the per-phase state (center sets,
+	// near-neighbors tables, forward transcripts) that RebuildSpanner
+	// replays against. Costs memory proportional to the stored tables;
+	// required on a result before it can seed a delta rebuild.
+	KeepRebuildState bool
+	// MaxAffectedFraction bounds a delta rebuild's dirty frontier as a
+	// fraction of the vertex count: past it, RebuildSpanner abandons the
+	// incremental path and falls back to a full build of the patched
+	// graph. 0 means the default (0.25); values >= 1 never fall back.
+	MaxAffectedFraction float64
 	// ArenaFraction controls how much of the CONGEST simulator's
 	// worst-case message arena DistributedMode preallocates. The arena
 	// grows lazily in pages as protocol traffic touches slots; this knob
@@ -174,14 +185,47 @@ func BuildSpannerContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return core.Build(ctx, g, p, core.Options{
-		Mode:          cfg.Mode,
-		Engine:        cfg.engine(),
-		KeepClusters:  cfg.KeepClusters,
-		OnStep:        cfg.OnStep,
-		RoundBudget:   cfg.RoundBudget,
-		ArenaFraction: cfg.ArenaFraction,
-	})
+	return core.Build(ctx, g, p, cfg.options())
+}
+
+// options renders the configuration as core build options.
+func (cfg Config) options() core.Options {
+	return core.Options{
+		Mode:                cfg.Mode,
+		Engine:              cfg.engine(),
+		KeepClusters:        cfg.KeepClusters,
+		OnStep:              cfg.OnStep,
+		RoundBudget:         cfg.RoundBudget,
+		ArenaFraction:       cfg.ArenaFraction,
+		KeepRebuildState:    cfg.KeepRebuildState,
+		MaxAffectedFraction: cfg.MaxAffectedFraction,
+	}
+}
+
+// DeltaEdge is one undirected edge of a delta batch.
+type DeltaEdge = delta.Edge
+
+// DeltaBatch is an edge delta — insertions and deletions applied
+// atomically to a previously built graph by RebuildSpanner.
+type DeltaBatch = delta.Batch
+
+// RebuildSpanner constructs the spanner of prev's graph patched by
+// batch, reusing prev's retained state (Config.KeepRebuildState): the
+// near-neighbors tables — the dominant build cost — are recomputed only
+// on the dirty frontier the delta perturbs, and the cheap steps re-run
+// on the patched graph. The result is bit-identical to BuildSpanner on
+// the patched graph; Result.Incremental reports whether the incremental
+// path was taken (false after a fallback, see Config.MaxAffectedFraction)
+// and Result.Tracked how many vertices were replayed. Rebuild results
+// retain state themselves, so rebuilds chain across a churn sequence.
+func RebuildSpanner(prev *Result, batch *DeltaBatch, cfg Config) (*Result, error) {
+	return RebuildSpannerContext(context.Background(), prev, batch, cfg)
+}
+
+// RebuildSpannerContext is RebuildSpanner with cancellation, observed at
+// the same boundaries as BuildSpannerContext.
+func RebuildSpannerContext(ctx context.Context, prev *Result, batch *DeltaBatch, cfg Config) (*Result, error) {
+	return core.Rebuild(ctx, prev, batch, cfg.options())
 }
 
 // params resolves the parameter schedule from the configuration.
