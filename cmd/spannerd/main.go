@@ -18,6 +18,19 @@
 //	printf '{"u":0,"v":9}\n{"u":3,"v":7}\n' |
 //	  curl -s localhost:8080/v1/jobs/j000001/query --data-binary @-  # batch
 //	curl -s localhost:8080/metrics                  # Prometheus text
+//
+// With -data-dir the daemon is crash-safe: job lifecycle events are
+// journaled and completed spanners snapshotted under the directory, and
+// a restart replays them — finished jobs come back with bit-identical
+// spanners (and answer queries again), interrupted jobs re-run to the
+// same result. Gate traffic on /readyz, which stays 503 until the
+// replay finishes:
+//
+//	spannerd -addr :8080 -data-dir /var/lib/spannerd &
+//	kill -9 $!                                      # crash, mid-build or not
+//	spannerd -addr :8080 -data-dir /var/lib/spannerd &
+//	curl -s localhost:8080/readyz                   # "ready" once recovered
+//	curl -s localhost:8080/v1/jobs/j000001          # same job, same fingerprint
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"time"
 
 	"nearspan/internal/service"
+	"nearspan/internal/store"
 )
 
 func main() {
@@ -52,8 +66,30 @@ func run() error {
 		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "how long in-flight builds get on SIGTERM before cancellation at a round boundary")
 		queryReps    = flag.Int("query-replicas", 0, "query-tier BFS workspaces per finished job (0 = GOMAXPROCS)")
 		queryCache   = flag.Int("query-cache", 0, "cached sources per finished job, 4n bytes each (0 = default 64, negative = disabled)")
+		dataDir      = flag.String("data-dir", "", "durable state directory: job journal + spanner snapshots, replayed on restart (empty = in-memory only)")
+		fsyncMode    = flag.String("fsync", "always", "fsync policy for durable writes: always|never (never trades crash safety for speed)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseFsync(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(store.Options{Dir: *dataDir, Fsync: policy})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if damage := st.TailDamage(); damage != nil {
+			// A torn tail is the expected signature of a crash mid-append;
+			// the intact prefix was recovered and the tear truncated away.
+			log.Printf("spannerd: journal tail damage truncated: %v", damage)
+		}
+		log.Printf("spannerd: durable state in %s (%d journal records, fsync=%s)",
+			*dataDir, len(st.Recovered()), *fsyncMode)
+	}
 
 	srv := service.New(service.Options{
 		QueueDepth:        *queue,
@@ -64,6 +100,7 @@ func run() error {
 		DrainGrace:        *drainGrace,
 		QueryReplicas:     *queryReps,
 		QueryCacheSources: *queryCache,
+		Store:             st,
 	})
 
 	l, err := net.Listen("tcp", *addr)

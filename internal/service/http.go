@@ -53,7 +53,14 @@ import (
 //	                          job document, 404 until the job is done,
 //	                          409 when the delta disagrees with the
 //	                          graph, 503 while draining.
-//	GET  /healthz             200 ok, 503 once draining.
+//	GET  /healthz             200 ok, 503 once draining (liveness: the
+//	                          process is up and not shutting down).
+//	GET  /readyz              readiness: 503 "recovering" until boot-time
+//	                          journal replay completes, 503 "draining"
+//	                          during shutdown, else 200 "ready". Load
+//	                          balancers gate traffic on this, not
+//	                          /healthz — a recovering daemon is alive
+//	                          but not yet serving its restored jobs.
 //	GET  /metrics             Prometheus text exposition.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -66,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/query", s.handleQueryBatch)
 	mux.HandleFunc("PATCH /v1/jobs/{id}/edges", s.handleEdgesPatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -178,7 +186,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady), errors.Is(err, ErrPersistence):
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		default:
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -525,7 +533,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.Draining():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.Ready():
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ready\n")
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.met.render(s.QueueDepth(), s.Draining(), s.queryPoolStats()))
+	io.WriteString(w, s.met.render(s.QueueDepth(), s.Draining(), s.queryPoolStats(), s.persistSnapshotStats()))
 }

@@ -168,10 +168,24 @@ type BudgetErr struct {
 	ByKind    map[string]int `json:"by_kind,omitempty"`
 }
 
+// buildPanicError wraps a panic recovered from a build worker so it
+// flows through the ordinary error path into a terminal job record.
+type buildPanicError struct {
+	val   any
+	stack string
+}
+
+func (e *buildPanicError) Error() string {
+	return fmt.Sprintf("build panicked: %v\n%s", e.val, e.stack)
+}
+
 // classifyErr maps a build error to its structured form.
 func classifyErr(err error) *JobError {
 	var be *congest.ErrBudgetExhausted
+	var pe *buildPanicError
 	switch {
+	case errors.As(err, &pe):
+		return &JobError{Kind: "panic", Message: pe.Error(), HTTPStatus: 500}
 	case errors.As(err, &be):
 		wire := &BudgetErr{MaxRounds: be.MaxRounds, Pending: be.Pending, Active: be.Active}
 		if len(be.ByKind) > 0 {
@@ -343,6 +357,44 @@ func (j *Job) QueryPool() *oracle.Pool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.pool
+}
+
+// restoreDone installs a recovered terminal success without touching
+// the job's lifecycle channel semantics: the job looks exactly like one
+// that finished before the restart, except build may be nil (snapshot
+// reload) — in which case the first PATCH takes the full-build path.
+func (j *Job) restoreDone(g *graph.Graph, res *JobResult, pool *oracle.Pool, build *core.Result, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.g = g
+	j.state = StateDone
+	j.result = res
+	j.pool = pool
+	j.buildRes = build
+	j.finished = finished
+	close(j.done)
+}
+
+// restoreErr installs a recovered terminal failure.
+func (j *Job) restoreErr(jerr *JobError, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if jerr.Kind == "cancelled" {
+		j.state = StateCancelled
+	} else {
+		j.state = StateFailed
+	}
+	j.jobErr = jerr
+	j.finished = finished
+	close(j.done)
+}
+
+// graphSnapshot reads the job's current graph pointer (swapped on
+// rebuild, so the read takes the lock).
+func (j *Job) graphSnapshot() *graph.Graph {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.g
 }
 
 // rebuildBase snapshots the retained build a delta replays against

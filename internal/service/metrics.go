@@ -31,6 +31,12 @@ type metrics struct {
 	rebuilds         atomic.Int64 // PATCH edge-delta rebuilds attempted
 	rebuildFallbacks atomic.Int64 // rebuilds that fell back to a full build
 
+	recoveredSnapshot   atomic.Int64 // boot recoveries served from a verified snapshot
+	recoveredRebuild    atomic.Int64 // boot recoveries that rebuilt from journaled inputs
+	recoveredRequeue    atomic.Int64 // interrupted jobs re-enqueued at boot
+	recoveredTerminal   atomic.Int64 // failed/cancelled jobs restored at boot
+	snapshotCorruptions atomic.Int64 // snapshots that failed verification at boot
+
 	arenaHighWater atomic.Int64 // largest per-build arena footprint seen
 
 	queries      atomic.Int64 // distance queries answered (single + batched)
@@ -98,10 +104,10 @@ func (m *metrics) highWater(b int64) {
 	}
 }
 
-// render writes the exposition text. queueDepth, draining, and the
-// aggregated query-pool counters are point-in-time server state
-// supplied by the caller.
-func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats) string {
+// render writes the exposition text. queueDepth, draining, the
+// aggregated query-pool counters, and the persistence state are
+// point-in-time server state supplied by the caller.
+func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats, ps persistStats) string {
 	var sb strings.Builder
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
@@ -137,6 +143,25 @@ func (m *metrics) render(queueDepth int, draining bool, qp oracle.PoolStats) str
 	counter("spannerd_rebuild_fallbacks_total",
 		"Delta rebuilds whose dirty frontier exceeded the threshold and fell back to a full build.",
 		m.rebuildFallbacks.Load())
+
+	// Durability: how jobs came back at the last boot, and whether the
+	// store is still writable (0 = healthy, 1 = degraded read-only).
+	fmt.Fprintf(&sb, "# HELP spannerd_recoveries_total Jobs recovered at boot, by mechanism.\n# TYPE spannerd_recoveries_total counter\n")
+	fmt.Fprintf(&sb, "spannerd_recoveries_total{kind=\"snapshot\"} %d\n", m.recoveredSnapshot.Load())
+	fmt.Fprintf(&sb, "spannerd_recoveries_total{kind=\"rebuild\"} %d\n", m.recoveredRebuild.Load())
+	fmt.Fprintf(&sb, "spannerd_recoveries_total{kind=\"requeue\"} %d\n", m.recoveredRequeue.Load())
+	fmt.Fprintf(&sb, "spannerd_recoveries_total{kind=\"terminal\"} %d\n", m.recoveredTerminal.Load())
+	counter("spannerd_snapshot_corruptions_total",
+		"Snapshots that failed checksum or fingerprint verification at boot (each cost a rebuild).",
+		m.snapshotCorruptions.Load())
+	if ps.enabled {
+		gauge("spannerd_journal_bytes", "Size of the durable job journal.", ps.journalBytes)
+		ro := int64(0)
+		if ps.readOnly {
+			ro = 1
+		}
+		gauge("spannerd_persistence_readonly", "1 once a persistence write error degraded the store (submissions shed).", ro)
+	}
 
 	// Query tier: rate(spannerd_queries_total) is the served qps; the
 	// source-cache hit rate is 1 - misses/queries.

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"nearspan/internal/delta"
+	"nearspan/internal/graph"
+	"nearspan/internal/store"
+)
+
+// The journal records job lifecycle events, inputs-first: because every
+// build is deterministic, the accepted spec plus the applied delta
+// batches reproduce any spanner bit-identically, so terminal records
+// and snapshots are acceleration, not truth. Record types:
+//
+//	accepted  the validated JobSpec, written in the Submit critical
+//	          section (a job exists durably iff it was accepted)
+//	done      the JobResult of the first completed build; the spanner
+//	          snapshot is installed before this record is appended
+//	delta     one applied edge-delta batch (normalized) plus the
+//	          post-rebuild JobResult; the updated snapshot precedes it
+//	failed    the terminal JobError of a failed or cancelled job
+//
+// Replay folds these per job: accepted alone → re-enqueue; +done
+// (+deltas) → reload snapshot or deterministically rebuild; +failed →
+// restore the terminal error.
+const (
+	recAccepted = "accepted"
+	recDone     = "done"
+	recDelta    = "delta"
+	recFailed   = "failed"
+)
+
+type acceptedData struct {
+	Spec JobSpec `json:"spec"`
+}
+
+type doneData struct {
+	Result *JobResult `json:"result"`
+}
+
+type failedData struct {
+	Error *JobError `json:"error"`
+}
+
+type deltaData struct {
+	Seq    int        `json:"seq"`
+	Insert [][2]int32 `json:"insert,omitempty"`
+	Delete [][2]int32 `json:"delete,omitempty"`
+	Result *JobResult `json:"result"`
+}
+
+func edgePairs(es []delta.Edge) [][2]int32 {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([][2]int32, len(es))
+	for i, e := range es {
+		out[i] = [2]int32{e.U, e.V}
+	}
+	return out
+}
+
+func edgeList(ps [][2]int32) []delta.Edge {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]delta.Edge, len(ps))
+	for i, p := range ps {
+		out[i] = delta.Edge{U: p[0], V: p[1]}
+	}
+	return out
+}
+
+func (s *Server) appendRecord(typ, job string, at time.Time, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("service: marshal %s record: %w", typ, err)
+	}
+	return s.st.Append(store.Record{
+		Type: typ,
+		Job:  job,
+		Time: at.UTC().Format(time.RFC3339Nano),
+		Data: data,
+	})
+}
+
+// journalAccepted durably admits a job. It runs inside Submit's
+// critical section, before the enqueue: a job is in the queue only if
+// its acceptance is journaled, so a crash can orphan a record (replay
+// re-enqueues it) but never a job.
+func (s *Server) journalAccepted(job *Job) error {
+	if s.st == nil {
+		return nil
+	}
+	return s.appendRecord(recAccepted, job.ID, job.submitted, acceptedData{Spec: job.Spec})
+}
+
+// persistDone installs the spanner snapshot, then journals the done
+// record. Snapshot-first means a done record always has a snapshot to
+// point at; a crash between the two leaves an accepted-only job that
+// replay re-runs (overwriting the orphaned snapshot). Persistence
+// errors degrade the store (future submissions shed 503) but never
+// un-finish the in-memory job.
+func (s *Server) persistDone(job *Job, res *JobResult, spanner *graph.Graph) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.WriteSnapshot(job.ID, res.Fingerprint, spanner); err != nil {
+		return
+	}
+	s.appendRecord(recDone, job.ID, time.Now(), doneData{Result: res})
+}
+
+// persistFailed journals a terminal error.
+func (s *Server) persistFailed(job *Job, jerr *JobError) {
+	if s.st == nil {
+		return
+	}
+	s.appendRecord(recFailed, job.ID, time.Now(), failedData{Error: jerr})
+}
+
+// persistDelta journals one applied edge-delta batch (already
+// normalized by the rebuild) with the post-rebuild result, after
+// installing the updated snapshot. Either write can fail without
+// un-applying the in-memory rebuild; replay's fingerprint check
+// reconciles a snapshot/journal mismatch by rebuilding.
+func (s *Server) persistDelta(job *Job, b *delta.Batch, res *JobResult, spanner *graph.Graph) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.WriteSnapshot(job.ID, res.Fingerprint, spanner); err != nil {
+		return
+	}
+	s.appendRecord(recDelta, job.ID, time.Now(), deltaData{
+		Seq:    res.Deltas,
+		Insert: edgePairs(b.Insert),
+		Delete: edgePairs(b.Delete),
+		Result: res,
+	})
+}
+
+// persistStats is the point-in-time persistence state /metrics renders.
+type persistStats struct {
+	enabled      bool
+	journalBytes int64
+	readOnly     bool
+}
+
+func (s *Server) persistSnapshotStats() persistStats {
+	if s.st == nil {
+		return persistStats{}
+	}
+	return persistStats{
+		enabled:      true,
+		journalBytes: s.st.JournalBytes(),
+		readOnly:     s.st.ReadOnly() != nil,
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"nearspan/internal/oracle"
 	"nearspan/internal/protocols"
 	"nearspan/internal/sched"
+	"nearspan/internal/store"
 )
 
 // Options configure a Server. The zero value is usable: a queue of 64,
@@ -74,6 +76,15 @@ type Options struct {
 	// QueryCacheSources bounds each job's shared source-level cache
 	// (0 means the oracle default of 64; negative disables caching).
 	QueryCacheSources int
+	// Store, when non-nil, makes the server crash-safe: job lifecycle
+	// events are journaled, completed spanners are snapshotted, and New
+	// replays the journal on boot (the server reports not-ready until
+	// the replay finishes). Nil means fully in-memory, as before.
+	Store *store.Store
+
+	// recoverGate, when set (tests only), holds boot-time recovery until
+	// the channel is closed, so tests can observe the not-ready window.
+	recoverGate chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +105,14 @@ func (o Options) withDefaults() Options {
 var (
 	ErrQueueFull = errors.New("service: job queue full")
 	ErrDraining  = errors.New("service: server is draining")
+	// ErrNotReady sheds submissions and patches while boot-time journal
+	// replay is still running (persistent servers only).
+	ErrNotReady = errors.New("service: server is recovering")
+	// ErrPersistence sheds submissions once the store has degraded to
+	// read-only: a job whose acceptance cannot be journaled would be
+	// silently lost by the next restart, so it is refused up front.
+	// Queries against already-built spanners keep working.
+	ErrPersistence = errors.New("service: persistence unavailable")
 )
 
 // Server is the build daemon: a bounded job queue, a worker pool
@@ -122,11 +141,23 @@ type Server struct {
 	buildCancel context.CancelFunc
 
 	wg  sync.WaitGroup // worker goroutines
+	bg  sync.WaitGroup // boot-time recovery goroutine
 	met metrics
+
+	// st is the durable journal + snapshot store (nil = in-memory only).
+	st *store.Store
+
+	// ready flips once boot-time recovery completes (immediately for
+	// in-memory servers); readyCh closes at the same moment.
+	ready     atomic.Bool
+	readyCh   chan struct{}
+	readyOnce sync.Once
 
 	// beforeBuild, when set (tests only), runs on the worker goroutine
 	// after a job leaves the queue and before its build starts.
 	beforeBuild func(*Job)
+	// recoverGate mirrors Options.recoverGate (tests only).
+	recoverGate chan struct{}
 }
 
 // New constructs the server and starts its workers.
@@ -137,7 +168,10 @@ func New(opts Options) *Server {
 		queue:   make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		drainCh: make(chan struct{}),
+		readyCh: make(chan struct{}),
+		st:      opts.Store,
 	}
+	s.recoverGate = opts.recoverGate
 	if opts.SchedWorkers > 0 {
 		s.rt = sched.New(opts.SchedWorkers)
 		s.ownRT = true
@@ -149,14 +183,51 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Builds; i++ {
 		go s.worker()
 	}
+	if s.st != nil {
+		// Replay off the construction path: the HTTP listener comes up
+		// immediately and /readyz gates traffic until recovery is done.
+		s.bg.Add(1)
+		go s.recoverLoop()
+	} else {
+		s.markReady()
+	}
 	return s
 }
 
+func (s *Server) markReady() {
+	s.readyOnce.Do(func() {
+		s.ready.Store(true)
+		close(s.readyCh)
+	})
+}
+
+// Ready reports whether boot-time recovery has completed (always true
+// for in-memory servers). Not-ready servers shed submissions and
+// patches but still answer health and status reads.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// WaitReady blocks until the server is ready or ctx expires.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.readyCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Submit validates the spec, registers the job, and enqueues it.
-// Returns ErrDraining once Drain has started and ErrQueueFull when the
-// queue is at capacity (the caller sheds load); spec errors are
-// *BadRequestError.
+// Returns ErrNotReady while boot-time recovery runs, ErrDraining once
+// Drain has started, ErrQueueFull when the queue is at capacity, and a
+// wrapped ErrPersistence when the acceptance cannot be journaled (the
+// caller sheds load in each case); spec errors are *BadRequestError.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	// The ready check also guarantees id allocation is stable: recovery
+	// is the only other writer of nextID, and it finished before ready.
+	if !s.ready.Load() {
+		s.met.rejected.Add(1)
+		return nil, ErrNotReady
+	}
 	if s.draining.Load() {
 		s.met.rejected.Add(1)
 		return nil, ErrDraining
@@ -171,30 +242,38 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, &BadRequestError{Err: err}
 	}
 
-	// The draining re-check, the enqueue attempt, and registration share
-	// one critical section with Drain's flag-flip + queue flush: a job
-	// either lands in the queue before the flush starts (and the flush
-	// cancels it) or is rejected here — never enqueued after the flush,
-	// where no worker would ever pick it up. Registering only on a
-	// successful enqueue also means a rejected submission never leaves a
-	// dangling id in s.order.
+	// The draining re-check, the journal append, the enqueue, and the
+	// registration share one critical section with Drain's flag-flip +
+	// queue flush: a job either lands in the queue before the flush
+	// starts (and the flush cancels it) or is rejected here — never
+	// enqueued after the flush, where no worker would ever pick it up.
+	// The capacity check precedes the journal append so a shed
+	// submission never leaves a ghost "accepted" record for the next
+	// boot to resurrect; the append precedes the enqueue so a job is in
+	// the queue only if it exists durably. The enqueue itself cannot
+	// block: capacity was just verified under s.mu, and after ready the
+	// only queue senders run under s.mu.
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
 		s.met.rejected.Add(1)
 		return nil, ErrDraining
 	}
-	select {
-	case s.queue <- job:
-		s.jobs[id] = job
-		s.order = append(s.order, id)
-		s.mu.Unlock()
-		return job, nil
-	default:
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.met.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	if err := s.journalAccepted(job); err != nil {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	s.queue <- job
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return job, nil
 }
 
 // BadRequestError marks a submission rejected for its content (HTTP
@@ -265,40 +344,60 @@ func (s *Server) runJob(job *Job) {
 		ctx, tcancel = context.WithTimeout(ctx, job.timeout)
 		defer tcancel()
 	}
-	if s.beforeBuild != nil {
-		s.beforeBuild(job)
-	}
-
 	s.met.active.Add(1)
 	start := time.Now()
-	res, err := core.Build(ctx, job.g, job.p, s.buildOptions(job))
+	res, err := s.executeBuild(ctx, job)
 	dur := time.Since(start)
 	s.met.active.Add(-1)
 	s.met.buildNanos.Add(int64(dur))
 	s.met.builds.Add(1)
 
 	if err != nil {
-		jerr := classifyErr(err)
-		job.finishErr(jerr, time.Now())
-		if jerr.Kind == "cancelled" {
-			s.met.cancelled.Add(1)
-		} else {
-			s.met.failed.Add(1)
-		}
+		s.finishFailed(job, classifyErr(err))
 		return
 	}
 	m, fp := graph.Fingerprint(res.Spanner)
 	s.met.highWater(res.ArenaBytes)
 	// The spanner is immutable from here on: hand it to the query tier.
-	job.finishOK(&JobResult{
+	result := &JobResult{
 		Edges:       m,
 		TotalRounds: res.TotalRounds,
 		Messages:    res.Messages,
 		Fingerprint: fp,
 		ArenaBytes:  res.ArenaBytes,
 		BuildMS:     dur.Milliseconds(),
-	}, s.newPool(res), res, time.Now())
+	}
+	job.finishOK(result, s.newPool(res), res, time.Now())
 	s.met.done.Add(1)
+	s.persistDone(job, result, res.Spanner)
+}
+
+// executeBuild runs one build, converting a worker panic into an
+// ordinary error: one poisoned job must not take the daemon (and every
+// other job's spanner) down with it. The panic value and stack land in
+// the job's terminal record.
+func (s *Server) executeBuild(ctx context.Context, job *Job) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &buildPanicError{val: r, stack: string(debug.Stack())}
+		}
+	}()
+	if s.beforeBuild != nil {
+		s.beforeBuild(job)
+	}
+	return core.Build(ctx, job.g, job.p, s.buildOptions(job))
+}
+
+// finishFailed records a terminal failure in memory, in the metrics,
+// and in the journal.
+func (s *Server) finishFailed(job *Job, jerr *JobError) {
+	job.finishErr(jerr, time.Now())
+	if jerr.Kind == "cancelled" {
+		s.met.cancelled.Add(1)
+	} else {
+		s.met.failed.Add(1)
+	}
+	s.persistFailed(job, jerr)
 }
 
 // buildOptions is the one place job limits and the metrics fan-out turn
@@ -323,7 +422,13 @@ func (s *Server) buildOptions(job *Job) core.Options {
 }
 
 func (s *Server) newPool(res *core.Result) *oracle.Pool {
-	return oracle.NewPool(res.Spanner, oracle.PoolOptions{
+	return s.poolFor(res.Spanner)
+}
+
+// poolFor builds the query tier over a spanner that arrived without a
+// core.Result — a snapshot reload at recovery.
+func (s *Server) poolFor(spanner *graph.Graph) *oracle.Pool {
+	return oracle.NewPool(spanner, oracle.PoolOptions{
 		Replicas:     s.opts.QueryReplicas,
 		CacheSources: s.opts.QueryCacheSources,
 	})
@@ -341,32 +446,41 @@ func (s *Server) newPool(res *core.Result) *oracle.Pool {
 // 404 while the job has no spanner, 409 when the batch disagrees with
 // the current graph, 400 when it is malformed, 503 while draining.
 func (s *Server) RebuildJob(job *Job, b *delta.Batch) *JobError {
+	if !s.ready.Load() {
+		return &JobError{Kind: "not-ready", Message: ErrNotReady.Error(), HTTPStatus: 503}
+	}
 	if s.draining.Load() {
 		return &JobError{Kind: "draining", Message: ErrDraining.Error(), HTTPStatus: 503}
+	}
+	// A delta that cannot be journaled would silently vanish at the next
+	// restart (replay would rebuild the pre-delta spanner), so a degraded
+	// store sheds patches like it sheds submissions.
+	if s.st != nil {
+		if err := s.st.ReadOnly(); err != nil {
+			return &JobError{Kind: "persistence", Message: fmt.Sprintf("%v: %v", ErrPersistence, err), HTTPStatus: 503}
+		}
 	}
 	job.patchMu.Lock()
 	defer job.patchMu.Unlock()
 
 	prev := job.rebuildBase()
 	if prev == nil {
+		// A job restored from a snapshot carries no retained rebuild
+		// state (the snapshot holds only the spanner CSR). Its first
+		// patch takes the full-build path — bit-identical to the
+		// incremental one — and re-establishes the state every later
+		// delta chains from.
+		if job.State() == StateDone {
+			return s.rebuildFromScratch(job, b)
+		}
 		return &JobError{Kind: "not-ready", Message: "job has no spanner to patch (not finished)", HTTPStatus: 404}
 	}
 	// Validate up front against the graph the delta claims to patch so a
 	// disagreeing batch is a clean 409, not a failed build. patchMu makes
 	// the check-then-rebuild atomic: nothing else swaps the graph under us.
 	g := prev.Rebuild.Graph
-	if err := b.Normalize(g.N()); err != nil {
-		return &JobError{Kind: "bad-request", Message: err.Error(), HTTPStatus: 400}
-	}
-	for _, e := range b.Insert {
-		if g.HasEdge(int(e.U), int(e.V)) {
-			return &JobError{Kind: "conflict", Message: fmt.Sprintf("insert edge {%d,%d} already present", e.U, e.V), HTTPStatus: 409}
-		}
-	}
-	for _, e := range b.Delete {
-		if !g.HasEdge(int(e.U), int(e.V)) {
-			return &JobError{Kind: "conflict", Message: fmt.Sprintf("delete edge {%d,%d} not present", e.U, e.V), HTTPStatus: 409}
-		}
+	if jerr := validateBatch(g, b); jerr != nil {
+		return jerr
 	}
 
 	// The rebuild runs under the drain umbrella (buildCancel aborts it at
@@ -398,7 +512,7 @@ func (s *Server) RebuildJob(job *Job, b *delta.Batch) *JobError {
 	job.mu.Lock()
 	deltas := job.result.Deltas + 1
 	job.mu.Unlock()
-	job.swapSpanner(res.Rebuild.Graph, &JobResult{
+	result := &JobResult{
 		Edges:       m,
 		TotalRounds: res.TotalRounds,
 		Messages:    res.Messages,
@@ -407,7 +521,82 @@ func (s *Server) RebuildJob(job *Job, b *delta.Batch) *JobError {
 		BuildMS:     dur.Milliseconds(),
 		Deltas:      deltas,
 		Incremental: res.Incremental,
-	}, s.newPool(res), res)
+	}
+	job.swapSpanner(res.Rebuild.Graph, result, s.newPool(res), res)
+	s.persistDelta(job, b, result, res.Spanner)
+	return nil
+}
+
+// validateBatch pre-checks a normalized delta against the graph it
+// claims to patch, so a disagreeing batch is a clean 409, not a failed
+// build.
+func validateBatch(g *graph.Graph, b *delta.Batch) *JobError {
+	if err := b.Normalize(g.N()); err != nil {
+		return &JobError{Kind: "bad-request", Message: err.Error(), HTTPStatus: 400}
+	}
+	for _, e := range b.Insert {
+		if g.HasEdge(int(e.U), int(e.V)) {
+			return &JobError{Kind: "conflict", Message: fmt.Sprintf("insert edge {%d,%d} already present", e.U, e.V), HTTPStatus: 409}
+		}
+	}
+	for _, e := range b.Delete {
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			return &JobError{Kind: "conflict", Message: fmt.Sprintf("delete edge {%d,%d} not present", e.U, e.V), HTTPStatus: 409}
+		}
+	}
+	return nil
+}
+
+// rebuildFromScratch is the patch path for a job whose rebuild state
+// was lost to a restart: apply the delta to the job graph and run a
+// full build of the patched graph. Determinism makes the outcome
+// bit-identical to the incremental path, and KeepRebuildState means the
+// job's next patch is incremental again.
+func (s *Server) rebuildFromScratch(job *Job, b *delta.Batch) *JobError {
+	g := job.graphSnapshot()
+	if jerr := validateBatch(g, b); jerr != nil {
+		return jerr
+	}
+	patched, err := delta.Apply(g, b)
+	if err != nil {
+		return &JobError{Kind: "conflict", Message: err.Error(), HTTPStatus: 409}
+	}
+
+	ctx := s.buildCtx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	s.met.active.Add(1)
+	start := time.Now()
+	res, err := core.Build(ctx, patched, job.p, s.buildOptions(job))
+	dur := time.Since(start)
+	s.met.active.Add(-1)
+	s.met.buildNanos.Add(int64(dur))
+	s.met.builds.Add(1)
+	s.met.rebuilds.Add(1)
+	s.met.rebuildFallbacks.Add(1)
+	if err != nil {
+		return classifyErr(err)
+	}
+
+	m, fp := graph.Fingerprint(res.Spanner)
+	s.met.highWater(res.ArenaBytes)
+	job.mu.Lock()
+	deltas := job.result.Deltas + 1
+	job.mu.Unlock()
+	result := &JobResult{
+		Edges:       m,
+		TotalRounds: res.TotalRounds,
+		Messages:    res.Messages,
+		Fingerprint: fp,
+		ArenaBytes:  res.ArenaBytes,
+		BuildMS:     dur.Milliseconds(),
+		Deltas:      deltas,
+	}
+	job.swapSpanner(res.Rebuild.Graph, result, s.newPool(res), res)
+	s.persistDelta(job, b, result, res.Spanner)
 	return nil
 }
 
@@ -429,8 +618,7 @@ func (s *Server) queryPoolStats() (agg oracle.PoolStats) {
 }
 
 func (s *Server) finishCancelled(job *Job, msg string) {
-	job.finishErr(&JobError{Kind: "cancelled", Message: msg, HTTPStatus: 409}, time.Now())
-	s.met.cancelled.Add(1)
+	s.finishFailed(job, &JobError{Kind: "cancelled", Message: msg, HTTPStatus: 409})
 }
 
 // Drain shuts the server down without ever emitting a partial spanner:
@@ -477,12 +665,17 @@ func (s *Server) Drain(ctx context.Context) {
 			<-workersDone
 		}
 		s.buildCancel()
+		// Boot-time recovery may still be rebuilding a spanner on the
+		// shared runtime; buildCancel has aborted it at a round boundary,
+		// so this wait is bounded — and it must precede rt.Close.
+		s.bg.Wait()
 		if s.ownRT {
 			s.rt.Close()
 		}
 	})
 	// Late or concurrent callers still wait for the drain to finish.
 	s.wg.Wait()
+	s.bg.Wait()
 }
 
 // Run serves s on l until ctx is cancelled (typically by SIGTERM via

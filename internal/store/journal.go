@@ -1,0 +1,114 @@
+// Package store is spannerd's durability layer: an append-only,
+// length-framed, CRC32-checksummed job journal plus atomic per-job
+// spanner snapshots, both under one data directory.
+//
+// The design leans on the construction's determinism: the journal
+// records only job *inputs* (accepted specs, applied edge-delta
+// batches) and terminal outcomes, because the Elkin–Matar pipeline
+// rebuilds any spanner bit-identically from its inputs. Snapshots are
+// therefore a cache, not the source of truth — a corrupt or missing
+// snapshot costs a deterministic rebuild, never a lost result.
+//
+// Failure model: a crash may tear the journal's final record (the
+// reader stops at the first damaged frame and Open truncates it away)
+// and may leave a snapshot temp file (ignored; snapshots become visible
+// only via rename). A persistence write error — disk full, dying device
+// — flips the store into a sticky read-only mode: every subsequent
+// append fails fast with the original error, and the service layer
+// keeps serving in-memory state while shedding new durable work.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record is one journal entry. The store treats Data as opaque; the
+// service layer defines the per-Type payloads. Time is RFC3339Nano.
+type Record struct {
+	Type string          `json:"type"`
+	Job  string          `json:"job,omitempty"`
+	Time string          `json:"time,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal frame layout: an 8-byte binary header — uint32 LE payload
+// length, uint32 LE CRC32 (IEEE) of the payload — then the payload (one
+// JSON object), then '\n'. The newline keeps the journal greppable
+// (each record is one line of NDJSON after its 8 framing bytes); the
+// length lets the reader skip exactly one frame without trusting the
+// payload's bytes, and the CRC catches bit rot and torn writes that
+// happen to preserve framing.
+const frameHeaderLen = 8
+
+// maxFramePayload bounds a single record. The largest legitimate
+// payload is an accepted-job record embedding an uploaded edge list
+// (the HTTP layer caps bodies at 64 MiB); anything past 128 MiB in a
+// length field is corruption, not data.
+const maxFramePayload = 128 << 20
+
+// appendFrame encodes one record into its framed wire form.
+func appendFrame(dst []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return dst, fmt.Errorf("store: marshal record: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		return dst, fmt.Errorf("store: record payload %d bytes exceeds frame limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return append(dst, '\n'), nil
+}
+
+// DecodeJournal reads frames from r until EOF or the first damage. It
+// returns the records decoded before the damage, the byte offset at
+// which the last intact frame ends (the safe truncate-and-append
+// point), and a damage description — nil when the journal ended
+// cleanly at a frame boundary.
+//
+// Damage never loses the records before it: a torn tail (partial
+// header or payload), a corrupted length, a failed checksum, or
+// unparseable payload JSON all stop the scan at the last intact frame.
+// DecodeJournal never panics on any input.
+func DecodeJournal(r io.Reader) (recs []Record, intact int64, damage error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		var hdr [frameHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, intact, nil
+			}
+			return recs, intact, fmt.Errorf("store: torn frame header at offset %d: %w", intact, err)
+		}
+		l := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if l > maxFramePayload {
+			return recs, intact, fmt.Errorf("store: implausible frame length %d at offset %d", l, intact)
+		}
+		payload := make([]byte, int(l)+1)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, intact, fmt.Errorf("store: torn frame payload at offset %d: %w", intact, err)
+		}
+		if payload[l] != '\n' {
+			return recs, intact, fmt.Errorf("store: missing frame terminator at offset %d", intact)
+		}
+		payload = payload[:l]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return recs, intact, fmt.Errorf("store: checksum mismatch at offset %d: frame says %08x, payload hashes to %08x", intact, want, got)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, intact, fmt.Errorf("store: undecodable record at offset %d: %w", intact, err)
+		}
+		recs = append(recs, rec)
+		intact += frameHeaderLen + int64(l) + 1
+	}
+}

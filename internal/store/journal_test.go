@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		data, _ := json.Marshal(map[string]any{"seq": i, "blob": fmt.Sprintf("payload-%d", i)})
+		recs[i] = Record{
+			Type: []string{"accepted", "done", "delta", "failed"}[i%4],
+			Job:  fmt.Sprintf("j%06d", i/4+1),
+			Time: "2026-08-08T00:00:00Z",
+			Data: data,
+		}
+	}
+	return recs
+}
+
+func encodeAll(t *testing.T, recs []Record) ([]byte, []int64) {
+	t.Helper()
+	var buf []byte
+	ends := make([]int64, len(recs)) // ends[i] = offset after record i
+	for i, rec := range recs {
+		var err error
+		buf, err = appendFrame(buf, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends[i] = int64(len(buf))
+	}
+	return buf, ends
+}
+
+// recordsBefore returns how many whole frames fit in the first n bytes.
+func recordsBefore(ends []int64, n int64) int {
+	k := 0
+	for k < len(ends) && ends[k] <= n {
+		k++
+	}
+	return k
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(25)
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.JournalBytes() == 0 {
+		t.Fatal("JournalBytes stayed 0 after appends")
+	}
+	s.Close()
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.TailDamage() != nil {
+		t.Fatalf("clean journal reports damage: %v", s2.TailDamage())
+	}
+	got := s2.Recovered()
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay mismatch: got %d records, want %d (or contents differ)", len(got), len(recs))
+	}
+	// The reopened store keeps appending where the journal left off.
+	if err := s2.Append(Record{Type: "done", Job: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if n := len(s3.Recovered()); n != len(recs)+1 {
+		t.Fatalf("after reopened append: %d records, want %d", n, len(recs)+1)
+	}
+}
+
+// Every truncation point: the reader must recover exactly the records
+// whose frames completed before the cut, report damage for a mid-frame
+// cut, and never panic.
+func TestJournalEveryTruncationPoint(t *testing.T) {
+	recs := testRecords(8)
+	full, ends := encodeAll(t, recs)
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		got, intact, damage := DecodeJournal(bytes.NewReader(full[:cut]))
+		want := recordsBefore(ends, cut)
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		wantIntact := int64(0)
+		if want > 0 {
+			wantIntact = ends[want-1]
+		}
+		if intact != wantIntact {
+			t.Fatalf("cut %d: intact offset %d, want %d", cut, intact, wantIntact)
+		}
+		midFrame := cut != wantIntact
+		if midFrame && damage == nil {
+			t.Fatalf("cut %d: mid-frame truncation reported no damage", cut)
+		}
+		if !midFrame && damage != nil {
+			t.Fatalf("cut %d: clean boundary reported damage: %v", cut, damage)
+		}
+	}
+}
+
+// Every single-bit flip: the reader recovers at least every record
+// before the flipped frame, never panics, and never reports records
+// past the first damage it detects out of order.
+func TestJournalBitFlips(t *testing.T) {
+	recs := testRecords(6)
+	full, ends := encodeAll(t, recs)
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		i := rnd.Intn(len(full))
+		corrupt := append([]byte(nil), full...)
+		corrupt[i] ^= 1 << rnd.Intn(8)
+		got, _, _ := DecodeJournal(bytes.NewReader(corrupt))
+		// The flip lives in the frame that starts at the largest end
+		// boundary <= i; every record before that frame must survive.
+		mustHave := recordsBefore(ends, int64(i))
+		if len(got) < mustHave {
+			t.Fatalf("flip at byte %d lost record(s) before the damage: recovered %d, want >= %d",
+				i, len(got), mustHave)
+		}
+		for k := 0; k < mustHave; k++ {
+			if !reflect.DeepEqual(got[k], recs[k]) {
+				t.Fatalf("flip at byte %d corrupted recovered record %d", i, k)
+			}
+		}
+	}
+}
+
+// Interleaved damage: a torn tail appended on top of a bit-flipped
+// record must still yield every record before the earlier damage.
+func TestJournalTornTailAfterBitFlip(t *testing.T) {
+	recs := testRecords(10)
+	full, ends := encodeAll(t, recs)
+	rnd := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		flipAt := rnd.Intn(len(full))
+		cut := flipAt + rnd.Intn(len(full)-flipAt) + 1
+		corrupt := append([]byte(nil), full[:cut]...)
+		corrupt[flipAt] ^= 1 << rnd.Intn(8)
+		got, intact, _ := DecodeJournal(bytes.NewReader(corrupt))
+		mustHave := recordsBefore(ends, int64(flipAt))
+		if len(got) < mustHave {
+			t.Fatalf("flip@%d cut@%d: recovered %d, want >= %d", flipAt, cut, len(got), mustHave)
+		}
+		if intact > int64(cut) {
+			t.Fatalf("flip@%d cut@%d: intact offset %d beyond the input", flipAt, cut, intact)
+		}
+	}
+}
+
+// A torn write (disk fills mid-frame) leaves a journal the next Open
+// truncates back to the last intact record and appends over.
+func TestJournalTornWriteRecovery(t *testing.T) {
+	recs := testRecords(5)
+	oneFrame, err := appendFrame(nil, recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(oneFrame)
+	// Budget: three whole frames plus half of the fourth.
+	budget := 3*frameLen + frameLen/2
+	dir := t.TempDir()
+	injected := errors.New("disk full")
+	s, err := Open(Options{Dir: dir, WrapWriter: func(kind, name string, w io.Writer) io.Writer {
+		if kind != "journal" {
+			return w
+		}
+		return NewTearWriter(w, budget, injected)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appendErr error
+	appended := 0
+	for _, rec := range recs {
+		if appendErr = s.Append(rec); appendErr != nil {
+			break
+		}
+		appended++
+	}
+	if appendErr == nil || !errors.Is(appendErr, injected) {
+		t.Fatalf("tear writer never failed an append (got %v after %d)", appendErr, appended)
+	}
+	if appended != 3 {
+		t.Fatalf("appended %d records before the tear, want 3", appended)
+	}
+	// The store is now read-only, stickily.
+	if err := s.Append(recs[4]); err == nil {
+		t.Fatal("degraded store accepted an append")
+	}
+	if s.ReadOnly() == nil {
+		t.Fatal("ReadOnly() nil after a failed append")
+	}
+	s.Close()
+
+	// The torn half-frame is on disk; reopening recovers the intact
+	// prefix, truncates the tear, and appends cleanly.
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= int64(3*frameLen) {
+		t.Fatalf("expected a torn partial frame on disk, journal is %d bytes", fi.Size())
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.TailDamage() == nil {
+		t.Fatal("reopen after torn write reports no tail damage")
+	}
+	if got := s2.Recovered(); len(got) != 3 || !reflect.DeepEqual(got, recs[:3]) {
+		t.Fatalf("recovered %d records after tear, want the 3 intact ones", len(got))
+	}
+	if err := s2.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Recovered(); len(got) != 4 || s3.TailDamage() != nil {
+		t.Fatalf("post-recovery journal: %d records, damage %v", len(got), s3.TailDamage())
+	}
+}
+
+// FuzzJournalReader feeds arbitrary bytes to the frame reader: it must
+// never panic, and whatever it decodes must re-encode to a journal that
+// replays identically (the reader's output is always a valid history).
+func FuzzJournalReader(f *testing.F) {
+	full, _ := encodeAllF(f, testRecords(4))
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte{})
+	f.Add([]byte("\xff\xff\xff\x7f garbage that is not a frame"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, intact, _ := DecodeJournal(bytes.NewReader(data))
+		if intact < 0 || intact > int64(len(data)) {
+			t.Fatalf("intact offset %d outside input of %d bytes", intact, len(data))
+		}
+		var reenc []byte
+		var err error
+		for _, rec := range recs {
+			if reenc, err = appendFrame(reenc, rec); err != nil {
+				t.Fatalf("decoded record fails to re-encode: %v", err)
+			}
+		}
+		recs2, _, damage := DecodeJournal(bytes.NewReader(reenc))
+		if damage != nil {
+			t.Fatalf("re-encoded journal reports damage: %v", damage)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("re-encoded journal replays %d records, want %d", len(recs2), len(recs))
+		}
+	})
+}
+
+func encodeAllF(f *testing.F, recs []Record) ([]byte, []int64) {
+	var buf []byte
+	ends := make([]int64, len(recs))
+	for i, rec := range recs {
+		var err error
+		buf, err = appendFrame(buf, rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		ends[i] = int64(len(buf))
+	}
+	return buf, ends
+}

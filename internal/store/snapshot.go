@@ -1,0 +1,165 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nearspan/internal/graph"
+)
+
+// Snapshot files hold one completed spanner per job:
+//
+//	magic "NSSNAP01" (8 bytes)
+//	uint32 LE header length, then the header JSON
+//	the spanner CSR (graph.EncodeBinary)
+//	uint32 LE CRC32 (IEEE) of everything above
+//
+// A snapshot becomes visible only by atomic rename of a fully written
+// temp file, so readers never observe a partial snapshot — a crash
+// mid-write leaves either the previous snapshot or none. Verification
+// at load is two layers: the CRC catches bit rot and truncation, and
+// re-fingerprinting the decoded CSR catches a well-formed snapshot
+// that belongs to a different state than the journal expects (e.g. a
+// crash landed between a snapshot rename and its journal record).
+
+var snapMagic = []byte("NSSNAP01")
+
+// snapHeader is the snapshot's self-description.
+type snapHeader struct {
+	Job         string `json:"job"`
+	Fingerprint string `json:"fingerprint"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+}
+
+func (s *Store) snapPath(job string) string {
+	return filepath.Join(s.dir, "snapshots", job+".snap")
+}
+
+// WriteSnapshot atomically installs the spanner snapshot for job:
+// temp file, optional fsync, rename, optional directory fsync. A write
+// error degrades the store to read-only (and removes the temp file);
+// the previously installed snapshot, if any, is untouched either way.
+func (s *Store) WriteSnapshot(job, fingerprint string, g *graph.Graph) error {
+	if err := s.ReadOnly(); err != nil {
+		return err
+	}
+	path := s.snapPath(job)
+	tmp := path + ".tmp"
+	err := s.writeSnapshotFile(tmp, job, fingerprint, g)
+	if err == nil {
+		if err = os.Rename(tmp, path); err == nil && s.fsync == FsyncAlways {
+			err = syncDir(path)
+		}
+	}
+	if err != nil {
+		os.Remove(tmp)
+		err = fmt.Errorf("store: snapshot %s: %w", job, err)
+		s.degrade(err)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) writeSnapshotFile(tmp, job, fingerprint string, g *graph.Graph) error {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(s.wrapWriter("snapshot", tmp, f), 1<<16)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
+
+	hdr, err := json.Marshal(snapHeader{Job: job, Fingerprint: fingerprint, N: g.N(), M: g.M()})
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	for _, chunk := range [][]byte{snapMagic, lenBuf[:], hdr} {
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+	}
+	if err := g.EncodeBinary(w); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(lenBuf[:], crc.Sum32())
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if s.fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reads, checksums, decodes, and fingerprint-verifies the
+// snapshot for job. wantFingerprint is the journal's expectation; a
+// snapshot that decodes cleanly but fingerprints differently is
+// rejected like a corrupt one, because it describes some other state.
+// Any error means "rebuild from the journaled inputs instead".
+func (s *Store) LoadSnapshot(job, wantFingerprint string) (*graph.Graph, error) {
+	data, err := os.ReadFile(s.snapPath(job))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+8 {
+		return nil, fmt.Errorf("store: snapshot %s: too short (%d bytes)", job, len(data))
+	}
+	if !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return nil, fmt.Errorf("store: snapshot %s: bad magic", job)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("store: snapshot %s: checksum mismatch (file says %08x, content hashes to %08x)", job, sum, got)
+	}
+	r := bytes.NewReader(body[len(snapMagic):])
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", job, err)
+	}
+	hdrLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if int64(hdrLen) > int64(r.Len()) {
+		return nil, fmt.Errorf("store: snapshot %s: header length %d exceeds file", job, hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdrBytes); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", job, err)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: header: %w", job, err)
+	}
+	if hdr.Job != job {
+		return nil, fmt.Errorf("store: snapshot %s: header names job %q", job, hdr.Job)
+	}
+	if hdr.Fingerprint != wantFingerprint {
+		return nil, fmt.Errorf("store: snapshot %s: holds fingerprint %s, journal expects %s", job, hdr.Fingerprint, wantFingerprint)
+	}
+	g, err := graph.DecodeBinary(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", job, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("store: snapshot %s: %d trailing bytes", job, r.Len())
+	}
+	if m, fp := graph.Fingerprint(g); fp != wantFingerprint || m != hdr.M {
+		return nil, fmt.Errorf("store: snapshot %s: decoded spanner fingerprints to (m=%d, %s), journal expects (m=%d, %s)",
+			job, m, fp, hdr.M, wantFingerprint)
+	}
+	return g, nil
+}

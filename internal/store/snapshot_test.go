@@ -1,0 +1,205 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nearspan/internal/graph"
+)
+
+func snapTestGraph(t *testing.T, seed int64, n int) *graph.Graph {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(rnd.Intn(i), i) // random tree keeps it connected
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rnd.Intn(n), rnd.Intn(n)
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := snapTestGraph(t, 3, 120)
+	_, fp := graph.Fingerprint(g)
+	if err := s.WriteSnapshot("j000001", fp, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.LoadSnapshot("j000001", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("loaded (n=%d m=%d), want (n=%d m=%d)", g2.N(), g2.M(), g.N(), g.M())
+	}
+	if _, fp2 := graph.Fingerprint(g2); fp2 != fp {
+		t.Fatalf("loaded fingerprint %s, want %s", fp2, fp)
+	}
+
+	// Overwrite with a new state: the replace is atomic and the loaded
+	// snapshot tracks the latest write.
+	g3 := snapTestGraph(t, 4, 120)
+	_, fp3 := graph.Fingerprint(g3)
+	if err := s.WriteSnapshot("j000001", fp3, g3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSnapshot("j000001", fp); err == nil {
+		t.Fatal("stale fingerprint expectation loaded without error")
+	}
+	if _, err := s.LoadSnapshot("j000001", fp3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRejectsWrongExpectation(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := snapTestGraph(t, 5, 60)
+	_, fp := graph.Fingerprint(g)
+	if err := s.WriteSnapshot("j000002", fp, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSnapshot("j000002", "0000000000000000"); err == nil {
+		t.Fatal("mismatched fingerprint loaded without error")
+	}
+	if _, err := s.LoadSnapshot("j000009", fp); err == nil {
+		t.Fatal("missing snapshot loaded without error")
+	}
+}
+
+// Every single-byte corruption of a snapshot must fail verification:
+// the CRC spans the whole file, so any flip is caught (a flip inside
+// the trailing CRC itself breaks the match just the same).
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := snapTestGraph(t, 6, 40)
+	_, fp := graph.Fingerprint(g)
+	if err := s.WriteSnapshot("j000003", fp, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "snapshots", "j000003.snap")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), orig...)
+		corrupt[rnd.Intn(len(corrupt))] ^= 1 << rnd.Intn(8)
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadSnapshot("j000003", fp); err == nil {
+			t.Fatalf("single-byte corruption (trial %d) loaded without error", trial)
+		}
+	}
+	// Truncations fail too.
+	for _, cut := range []int{0, 1, 7, 8, 11, len(orig) / 2, len(orig) - 1} {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadSnapshot("j000003", fp); err == nil {
+			t.Fatalf("truncation at %d loaded without error", cut)
+		}
+	}
+}
+
+// A torn snapshot write never replaces the previous snapshot: the temp
+// file is discarded, the old snapshot still loads, and the store
+// degrades to read-only.
+func TestSnapshotTornWriteKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("device gone")
+	tearNext := false
+	s, err := Open(Options{Dir: dir, WrapWriter: func(kind, name string, w io.Writer) io.Writer {
+		if kind == "snapshot" && tearNext {
+			return NewTearWriter(w, 64, injected)
+		}
+		return w
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := snapTestGraph(t, 7, 80)
+	_, fp := graph.Fingerprint(g)
+	if err := s.WriteSnapshot("j000004", fp, g); err != nil {
+		t.Fatal(err)
+	}
+
+	tearNext = true
+	g2 := snapTestGraph(t, 8, 80)
+	_, fp2 := graph.Fingerprint(g2)
+	if err := s.WriteSnapshot("j000004", fp2, g2); !errors.Is(err, injected) {
+		t.Fatalf("torn snapshot write returned %v, want the injected error", err)
+	}
+	if s.ReadOnly() == nil {
+		t.Fatal("store not degraded after snapshot write failure")
+	}
+	// Atomicity: the old snapshot is intact, no temp file lingers.
+	if _, err := s.LoadSnapshot("j000004", fp); err != nil {
+		t.Fatalf("previous snapshot lost after torn write: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshots", "j000004.snap.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Degraded store refuses further snapshot writes and appends.
+	if err := s.WriteSnapshot("j000005", fp, g); err == nil {
+		t.Fatal("degraded store wrote a snapshot")
+	}
+	if err := s.Append(Record{Type: "done"}); err == nil {
+		t.Fatal("degraded store accepted an append")
+	}
+}
+
+func TestSnapshotFsyncNever(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := snapTestGraph(t, 10, 50)
+	_, fp := graph.Fingerprint(g)
+	if err := s.WriteSnapshot("j000006", fp, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSnapshot("j000006", fp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Type: "accepted", Job: "j000006"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{"always": FsyncAlways, "": FsyncAlways, "never": FsyncNever} {
+		got, err := ParseFsync(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsync(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Error("ParseFsync accepted an unknown policy")
+	}
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// FsyncPolicy selects when the store forces written bytes to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the journal after every append and snapshots
+	// (file and directory) around every rename — a crash loses at most
+	// the record being written. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNever leaves flushing to the OS. A crash can lose recent
+	// records, but the torn-tail-tolerant reader still recovers every
+	// record that reached the disk intact.
+	FsyncNever
+)
+
+// ParseFsync maps the flag spelling to a policy.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|never)", s)
+}
+
+// Options configure Open.
+type Options struct {
+	// Dir is the data directory; created if absent. The journal lives
+	// at Dir/journal.nsj, snapshots under Dir/snapshots/.
+	Dir string
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// WrapWriter, when set (fault-injection tests), wraps every file
+	// writer the store opens — journal appends (kind "journal") and
+	// snapshot temp files (kind "snapshot") — so tests can fail or tear
+	// writes at a chosen byte. Sync and rename still act on the
+	// underlying file.
+	WrapWriter func(kind, name string, w io.Writer) io.Writer
+}
+
+// Store is the durability layer: one open journal plus the snapshot
+// directory. Safe for concurrent use. A write error flips it into a
+// sticky read-only mode (see ReadOnly).
+type Store struct {
+	dir   string
+	fsync FsyncPolicy
+	wrap  func(kind, name string, w io.Writer) io.Writer
+
+	mu     sync.Mutex // serializes journal appends
+	jf     *os.File
+	jw     io.Writer
+	jbytes atomic.Int64
+
+	roMu  sync.Mutex
+	roErr error
+
+	recovered []Record
+	damage    error
+}
+
+const journalName = "journal.nsj"
+
+// Open creates or opens the data directory, replays the existing
+// journal (tolerating a damaged tail, which it truncates away so
+// appends continue from the last intact record), and positions the
+// store for appending. The replayed records are available via
+// Recovered; any tail damage found is reported by TailDamage.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "snapshots"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	jf, err := os.OpenFile(filepath.Join(opts.Dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	recs, intact, damage := DecodeJournal(jf)
+	if fi, err := jf.Stat(); err == nil && fi.Size() > intact {
+		// Damaged or torn tail: cut the journal back to the last intact
+		// frame so the next append starts a clean record.
+		if err := jf.Truncate(intact); err != nil {
+			jf.Close()
+			return nil, fmt.Errorf("store: truncate damaged tail: %w", err)
+		}
+	}
+	if _, err := jf.Seek(intact, io.SeekStart); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:       opts.Dir,
+		fsync:     opts.Fsync,
+		wrap:      opts.WrapWriter,
+		jf:        jf,
+		recovered: recs,
+		damage:    damage,
+	}
+	s.jw = s.wrapWriter("journal", journalName, jf)
+	s.jbytes.Store(intact)
+	return s, nil
+}
+
+func (s *Store) wrapWriter(kind, name string, w io.Writer) io.Writer {
+	if s.wrap == nil {
+		return w
+	}
+	return s.wrap(kind, name, w)
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovered returns the records replayed at Open, in journal order.
+// The slice is read-only.
+func (s *Store) Recovered() []Record { return s.recovered }
+
+// TailDamage describes the journal damage found and truncated at Open,
+// or nil when the journal ended cleanly.
+func (s *Store) TailDamage() error { return s.damage }
+
+// JournalBytes returns the journal's current size.
+func (s *Store) JournalBytes() int64 { return s.jbytes.Load() }
+
+// ReadOnly returns the write error that degraded the store, or nil
+// while it accepts appends. Once degraded the store stays degraded:
+// the journal on disk is a clean prefix of the intended history, and
+// appending past a failed write would risk interleaving torn frames.
+func (s *Store) ReadOnly() error {
+	s.roMu.Lock()
+	defer s.roMu.Unlock()
+	return s.roErr
+}
+
+func (s *Store) degrade(err error) {
+	s.roMu.Lock()
+	if s.roErr == nil {
+		s.roErr = err
+	}
+	s.roMu.Unlock()
+}
+
+// Append journals one record: a single framed write, synced under
+// FsyncAlways. A write error degrades the store to read-only and is
+// returned; the on-disk tail it may have torn is exactly what the
+// reader tolerates.
+func (s *Store) Append(rec Record) error {
+	if err := s.ReadOnly(); err != nil {
+		return err
+	}
+	frame, err := appendFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ReadOnly(); err != nil {
+		return err
+	}
+	if _, err := s.jw.Write(frame); err != nil {
+		err = fmt.Errorf("store: journal append: %w", err)
+		s.degrade(err)
+		return err
+	}
+	if s.fsync == FsyncAlways {
+		if err := s.jf.Sync(); err != nil {
+			err = fmt.Errorf("store: journal sync: %w", err)
+			s.degrade(err)
+			return err
+		}
+	}
+	s.jbytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Close releases the journal file handle. It does not sync; callers
+// that need durability use FsyncAlways or crash-tolerate the tail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jf.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a completed
+// rename durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// TearWriter is the fault-injection writer: it passes writes through
+// until budget bytes have been written, then fails every write (the
+// write that crosses the budget is torn — its prefix reaches the
+// underlying writer, the rest does not). Tests wrap journal or
+// snapshot writers with it to simulate a disk filling up mid-record.
+type TearWriter struct {
+	W      io.Writer
+	Budget int
+	Err    error
+}
+
+// NewTearWriter tears writes at the nth byte, failing with err (or a
+// default) from then on.
+func NewTearWriter(w io.Writer, n int, err error) *TearWriter {
+	if err == nil {
+		err = errors.New("injected write failure")
+	}
+	return &TearWriter{W: w, Budget: n, Err: err}
+}
+
+func (t *TearWriter) Write(p []byte) (int, error) {
+	if t.Budget <= 0 {
+		return 0, t.Err
+	}
+	if len(p) <= t.Budget {
+		n, err := t.W.Write(p)
+		t.Budget -= n
+		return n, err
+	}
+	n, err := t.W.Write(p[:t.Budget])
+	t.Budget -= n
+	if err != nil {
+		return n, err
+	}
+	return n, t.Err
+}
